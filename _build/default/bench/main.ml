@@ -1,0 +1,142 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Experiment regeneration — one driver per figure / quantitative claim
+      of the paper (E1..E10; see DESIGN.md §4).  Each prints a table in the
+      paper's shape; EXPERIMENTS.md records paper-vs-measured.  This is the
+      default output of `dune exec bench/main.exe`.
+
+   2. Bechamel micro-benchmarks of the hot paths that make the paper's
+      mechanisms cheap: consistency-point advancement, quorum-set
+      evaluation, hot-log insertion/SCL tracking, histogram recording, and
+      the simulator core.  Run with `dune exec bench/main.exe -- micro`.
+
+   The default (`dune exec bench/main.exe`) runs both. *)
+
+open Simcore
+module E = Harness.Experiments
+
+let run_experiments () =
+  let t0 = Unix.gettimeofday () in
+  print_string (E.run_all ());
+  Printf.printf "(experiments wall-clock: %.1fs)\n%!" (Unix.gettimeofday () -. t0)
+
+(* ---- Bechamel micro-benchmarks ---- *)
+
+let bench_consistency () =
+  (* One PG, 6 segments: submit+ack a record through PGCL/VCL advancement. *)
+  let open Quorum in
+  let c = Aurora_core.Consistency.create () in
+  let pg = Storage.Pg_id.of_int 0 in
+  let members = List.init 6 Member_id.of_int in
+  Aurora_core.Consistency.register_pg c pg
+    ~write_quorum:(Quorum_set.k_of 4 members);
+  let lsn = ref 0 in
+  let seg_arr = Array.of_list members in
+  Bechamel.Staged.stage (fun () ->
+      incr lsn;
+      let l = Wal.Lsn.of_int !lsn in
+      Aurora_core.Consistency.note_submitted c ~pg ~lsn:l ~mtr_end:true;
+      for s = 0 to 3 do
+        Aurora_core.Consistency.note_ack c ~pg ~seg:seg_arr.(s) ~scl:l
+      done)
+
+let bench_quorum_eval () =
+  let open Quorum in
+  let members, rule = E.scheme_rule Harness.Cluster.Tiered in
+  let ids = List.map (fun (m : Membership.member) -> m.Membership.id) members in
+  let subset = Member_id.set_of_list (List.filteri (fun i _ -> i < 4) ids) in
+  Bechamel.Staged.stage (fun () ->
+      ignore (Quorum_set.satisfied rule.Quorum_set.Rule.write subset : bool))
+
+let bench_quorum_overlap () =
+  let _, rule = E.scheme_rule Harness.Cluster.Tiered in
+  Bechamel.Staged.stage (fun () ->
+      ignore
+        (Quorum.Quorum_set.overlaps ~read:rule.Quorum.Quorum_set.Rule.read
+           ~write:rule.Quorum.Quorum_set.Rule.write
+          : bool))
+
+let bench_hot_log () =
+  let log = Wal.Hot_log.create () in
+  let lsn = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      incr lsn;
+      let r =
+        Wal.Log_record.make ~lsn:(Wal.Lsn.of_int !lsn)
+          ~prev_volume:(Wal.Lsn.of_int (!lsn - 1))
+          ~prev_segment:(Wal.Lsn.of_int (!lsn - 1))
+          ~prev_block:Wal.Lsn.none
+          ~block:(Wal.Block_id.of_int (!lsn mod 64))
+          ~txn:(Wal.Txn_id.of_int 1) ~mtr_id:!lsn ~mtr_end:true
+          ~op:(Wal.Log_record.Put { key = "k"; value = "v" })
+      in
+      ignore (Wal.Hot_log.insert log r : Wal.Hot_log.insert_result))
+
+let bench_histogram () =
+  let h = Histogram.create () in
+  let x = ref 17 in
+  Bechamel.Staged.stage (fun () ->
+      x := (!x * 1103515245) + 12345;
+      Histogram.record h (abs !x mod 10_000_000))
+
+let bench_sim_events () =
+  let sim = Sim.create () in
+  Bechamel.Staged.stage (fun () ->
+      ignore (Sim.schedule sim ~delay:1 (fun () -> ()) : Sim.event_id);
+      ignore (Sim.step sim : bool))
+
+let bench_zipf () =
+  let z = Workload.Zipf.create ~n:100_000 ~theta:0.99 in
+  let rng = Rng.create 7 in
+  Bechamel.Staged.stage (fun () -> ignore (Workload.Zipf.sample z rng : int))
+
+let run_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"consistency: submit+4acks -> VCL" (bench_consistency ());
+      Test.make ~name:"quorum-set: tiered write eval" (bench_quorum_eval ());
+      Test.make ~name:"quorum-set: full overlap proof" (bench_quorum_overlap ());
+      Test.make ~name:"hot-log: insert + SCL advance" (bench_hot_log ());
+      Test.make ~name:"histogram: record" (bench_histogram ());
+      Test.make ~name:"sim: schedule + dispatch event" (bench_sim_events ());
+      Test.make ~name:"zipf: sample" (bench_zipf ());
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Printf.printf "\n== Bechamel micro-benchmarks (ns/op) ==\n%!";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/op\n%!" name est
+          | Some _ | None -> Printf.printf "%-40s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "experiments" -> run_experiments ()
+  | "micro" -> run_micro ()
+  | "all" ->
+    run_experiments ();
+    run_micro ()
+  | other ->
+    Printf.eprintf "unknown mode %S (use: experiments | micro | all)\n" other;
+    exit 1

@@ -1,0 +1,103 @@
+(* aurora-cli: run the paper's experiments and demo scenarios from the
+   command line.
+
+     dune exec bin/aurora_cli.exe -- exp e6 --seed 7
+     dune exec bin/aurora_cli.exe -- exp all
+     dune exec bin/aurora_cli.exe -- bench
+     dune exec bin/aurora_cli.exe -- smoke --txns 2000 --pgs 4 *)
+
+open Cmdliner
+module E = Harness.Experiments
+
+let print r = Harness.Report.print r
+
+let run_experiment name seed =
+  match String.lowercase_ascii name with
+  | "e1" -> print (E.E1.report (E.E1.run ~seed ()))
+  | "e2" -> print (E.E2.report (E.E2.run ~seed ()))
+  | "e3" -> print (E.E3.report (E.E3.run ()))
+  | "e4" -> print (E.E4.report (E.E4.run ~seed ()))
+  | "e5" -> print (E.E5.report (E.E5.run ~seed ()))
+  | "e6" -> print (E.E6.report (E.E6.run ~seed ()))
+  | "e7" -> print (E.E7.report (E.E7.run ~seed ()))
+  | "e8" -> print (E.E8.report (E.E8.run ~seed ()))
+  | "e9" -> print (E.E9.report (E.E9.run ~seed ()))
+  | "e10" -> print (E.E10.report (E.E10.run ~seed ()))
+  | "a1" -> print (E.Ablations.hedge_report (E.Ablations.hedge_sweep ~seed ()))
+  | "a2" -> print (E.Ablations.gossip_report (E.Ablations.gossip_sweep ~seed ()))
+  | "all" -> print_string (E.run_all ~seed ())
+  | other ->
+    Printf.eprintf "unknown experiment %S (e1..e10 or all)\n" other;
+    exit 1
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let exp_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id: e1..e10, a1/a2 (ablations), or 'all'.")
+  in
+  Cmd.v
+    (Cmd.info "exp"
+       ~doc:"Regenerate a figure/claim of the paper (see DESIGN.md \xc2\xa74)")
+    Term.(const run_experiment $ name_arg $ seed_arg)
+
+let run_smoke txns pgs seed =
+  let open Simcore in
+  let module Database = Aurora_core.Database in
+  let cluster =
+    Harness.Cluster.create { Harness.Cluster.default_config with seed; n_pgs = pgs }
+  in
+  let sim = Harness.Cluster.sim cluster in
+  let db = Harness.Cluster.db cluster in
+  let gen =
+    Workload.Txn_gen.create ~sim ~rng:(Rng.create (seed + 1)) ~db
+      ~profile:Workload.Txn_gen.default_profile ()
+  in
+  Workload.Txn_gen.run_open_loop gen ~rate_per_sec:2000.
+    ~duration:(Time_ns.us (txns * 500));
+  Sim.run_until sim (Time_ns.add (Time_ns.us (txns * 500)) (Time_ns.sec 2));
+  let m = Database.metrics db in
+  Printf.printf "txns: issued=%d acked=%d failed=%d\n"
+    (Workload.Txn_gen.issued gen)
+    (Workload.Txn_gen.acked gen)
+    (Workload.Txn_gen.failed gen);
+  Printf.printf "commit latency: p50=%s p99=%s\n"
+    (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 50.))
+    (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 99.));
+  Printf.printf "reads: cache hits=%d storage=%d\n" m.Database.cache_hit_reads
+    m.Database.storage_reads;
+  Printf.printf "VCL=%d VDL=%d records=%d\n"
+    (Wal.Lsn.to_int (Database.vcl db))
+    (Wal.Lsn.to_int (Database.vdl db))
+    m.Database.records_written;
+  let st = Simnet.Net.stats (Harness.Cluster.net cluster) in
+  Printf.printf "network: sent=%d delivered=%d bytes=%d\n" st.Simnet.Net.sent
+    st.Simnet.Net.delivered st.Simnet.Net.bytes_sent
+
+let smoke_cmd =
+  let txns = Arg.(value & opt int 1000 & info [ "txns" ] ~doc:"Transactions.") in
+  let pgs = Arg.(value & opt int 2 & info [ "pgs" ] ~doc:"Protection groups.") in
+  Cmd.v
+    (Cmd.info "smoke" ~doc:"Run a quick cluster workload and print metrics")
+    Term.(const run_smoke $ txns $ pgs $ seed_arg)
+
+let bench_cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run every experiment (same as 'exp all')")
+    Term.(const (fun seed -> print_string (E.run_all ~seed ())) $ seed_arg)
+
+let default =
+  Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
+
+let () =
+  let info =
+    Cmd.info "aurora-cli" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Amazon Aurora: On Avoiding Distributed Consensus \
+         for I/Os, Commits, and Membership Changes' (SIGMOD'18)"
+  in
+  exit (Cmd.eval (Cmd.group ~default info [ exp_cmd; smoke_cmd; bench_cmd ]))

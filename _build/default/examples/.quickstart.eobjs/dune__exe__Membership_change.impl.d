@@ -1,0 +1,1 @@
+examples/membership_change.ml: Aurora_core Distribution Format Harness Member_id Membership Printf Quorum Quorum_set Rng Sim Simcore Storage Time_ns Workload

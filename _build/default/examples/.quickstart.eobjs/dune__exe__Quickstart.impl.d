@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aurora_core Harness Histogram List Printf Quorum Sim Simcore Time_ns Wal

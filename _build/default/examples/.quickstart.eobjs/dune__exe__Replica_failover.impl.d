@@ -1,0 +1,1 @@
+examples/replica_failover.ml: Aurora_core Distribution Harness Hashtbl Histogram List Printf Quorum Result Rng Sim Simcore Simnet String Time_ns Wal Workload

@@ -1,0 +1,1 @@
+examples/tiered_storage.ml: Aurora_core Availability Format Harness List Member_id Membership Printf Quorum Quorum_set Rng Sim Simcore Storage Time_ns Workload

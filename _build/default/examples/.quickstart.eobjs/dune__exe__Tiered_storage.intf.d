@@ -1,0 +1,1 @@
+examples/tiered_storage.mli:

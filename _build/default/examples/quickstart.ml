@@ -1,0 +1,84 @@
+(* Quickstart: bring up an Aurora-style cluster, run transactions, crash
+   the writer, recover without redo replay, and show that every
+   acknowledged commit survived.
+
+     dune exec examples/quickstart.exe
+
+   The cluster is entirely simulated (deterministic discrete-event
+   simulation), so this runs in milliseconds of wall-clock time while
+   modelling seconds of cluster time across three availability zones. *)
+
+open Simcore
+module Database = Aurora_core.Database
+module Cluster = Harness.Cluster
+
+let step fmt = Printf.printf ("\n== " ^^ fmt ^^ " ==\n")
+
+let () =
+  step "1. build a cluster: writer + 2 protection groups x 6 segments / 3 AZs";
+  let cluster = Cluster.create Cluster.default_config in
+  let sim = Cluster.sim cluster in
+  let db = Cluster.db cluster in
+  Printf.printf "storage nodes: %d, volume epoch: %d\n"
+    (List.length (Cluster.storage_nodes cluster))
+    (Quorum.Epoch.to_int (Aurora_core.Volume.volume_epoch (Database.volume db)));
+
+  step "2. commit 500 transactions (asynchronous quorum writes, no consensus)";
+  let acked = ref 0 in
+  for i = 1 to 500 do
+    let txn = Database.begin_txn db in
+    Database.put db ~txn ~key:(Printf.sprintf "user:%04d" i)
+      ~value:(Printf.sprintf "balance=%d" (i * 10));
+    Database.commit db ~txn (fun r -> if r = Ok () then incr acked)
+  done;
+  Sim.run_until sim (Time_ns.sec 2);
+  let m = Database.metrics db in
+  Printf.printf "acked %d/500 commits; commit latency p50=%s p99=%s\n" !acked
+    (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 50.))
+    (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 99.));
+  Printf.printf "VCL=%d VDL=%d (all consistency points advanced by local bookkeeping)\n"
+    (Wal.Lsn.to_int (Database.vcl db))
+    (Wal.Lsn.to_int (Database.vdl db));
+
+  step "3. snapshot reads (tracked direct reads, no read quorum)";
+  let got = ref 0 in
+  for i = 1 to 500 do
+    Database.get db ~key:(Printf.sprintf "user:%04d" i) (fun r ->
+        match r with Ok (Some _) -> incr got | _ -> ())
+  done;
+  Sim.run_until sim (Time_ns.add (Sim.now sim) (Time_ns.sec 2));
+  Printf.printf "read back %d/500 keys\n" !got;
+
+  step "4. crash the writer (all ephemeral state gone)";
+  Database.crash db;
+  Sim.run_until sim (Time_ns.add (Sim.now sim) (Time_ns.ms 100));
+  Printf.printf "instance open: %b\n" (Database.is_open db);
+
+  step "5. recover: read-quorum SCL poll + truncation; no redo replay";
+  let outcome = ref None in
+  Database.recover db (fun r -> outcome := Some r);
+  Sim.run_until sim (Time_ns.add (Sim.now sim) (Time_ns.sec 30));
+  (match !outcome with
+  | Some (Ok o) ->
+    Printf.printf
+      "recovered in %s (simulated): VCL=%d, truncation (%d, %d], epoch now %d\n"
+      (Time_ns.to_string o.Aurora_core.Recovery.duration)
+      (Wal.Lsn.to_int o.Aurora_core.Recovery.vcl)
+      (Wal.Lsn.to_int o.Aurora_core.Recovery.truncate_above)
+      (Wal.Lsn.to_int o.Aurora_core.Recovery.truncate_upto)
+      (Quorum.Epoch.to_int (Aurora_core.Volume.volume_epoch (Database.volume db)))
+  | Some (Error e) -> failwith ("recovery failed: " ^ e)
+  | None -> failwith "recovery did not finish");
+
+  step "6. audit: every acknowledged commit must still be readable";
+  let ok = ref 0 and lost = ref 0 in
+  for i = 1 to 500 do
+    Database.get db ~key:(Printf.sprintf "user:%04d" i) (fun r ->
+        match r with
+        | Ok (Some v) when v = Printf.sprintf "balance=%d" (i * 10) -> incr ok
+        | _ -> incr lost)
+  done;
+  Sim.run_until sim (Time_ns.add (Sim.now sim) (Time_ns.sec 5));
+  Printf.printf "intact: %d, lost: %d\n" !ok !lost;
+  if !lost > 0 then exit 1;
+  print_endline "\nquickstart OK: zero acknowledged commits lost across the crash."

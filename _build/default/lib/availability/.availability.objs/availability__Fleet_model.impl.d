@@ -1,0 +1,1 @@
+lib/availability/fleet_model.ml: Array Az Float Hashtbl Heap Int List Member_id Membership Quorum Quorum_set Rng Simcore Time_ns

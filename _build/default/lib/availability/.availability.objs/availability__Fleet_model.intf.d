@@ -1,0 +1,1 @@
+lib/availability/fleet_model.mli: Membership Quorum Quorum_set Simcore

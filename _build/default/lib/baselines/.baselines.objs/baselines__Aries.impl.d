@@ -1,0 +1,1 @@
+lib/baselines/aries.ml: Sim Simcore Time_ns

@@ -1,0 +1,1 @@
+lib/baselines/aries.mli: Simcore

@@ -1,0 +1,1 @@
+lib/baselines/lease.ml: Sim Simcore Time_ns

@@ -1,0 +1,1 @@
+lib/baselines/lease.mli: Simcore

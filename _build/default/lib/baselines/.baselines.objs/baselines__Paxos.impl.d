@@ -1,0 +1,1 @@
+lib/baselines/paxos.ml: Distribution Hashtbl Int List Option Rng Sim Simcore Simnet Time_ns

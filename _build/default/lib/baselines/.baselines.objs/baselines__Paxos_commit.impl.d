@@ -1,0 +1,1 @@
+lib/baselines/paxos_commit.ml: Distribution Hashtbl Histogram List Rng Sim Simcore Simnet Time_ns

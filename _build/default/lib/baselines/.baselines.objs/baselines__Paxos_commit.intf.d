@@ -1,0 +1,1 @@
+lib/baselines/paxos_commit.mli: Simcore Simnet

@@ -1,0 +1,1 @@
+lib/baselines/two_phase_commit.ml: Distribution Hashtbl Histogram List Rng Sim Simcore Simnet Time_ns

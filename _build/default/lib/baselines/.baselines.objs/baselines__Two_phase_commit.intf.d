@@ -1,0 +1,1 @@
+lib/baselines/two_phase_commit.mli: Simcore Simnet

@@ -1,0 +1,1 @@
+lib/baselines/waro.ml: Distribution Hashtbl Histogram List Rng Sim Simcore Simnet Time_ns

@@ -1,0 +1,1 @@
+lib/baselines/waro.mli: Simcore Simnet

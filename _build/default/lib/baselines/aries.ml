@@ -1,0 +1,53 @@
+open Simcore
+
+type config = {
+  log_read_mb_per_s : float;
+  replay_records_per_s : float;
+  page_fetch : Time_ns.t;
+  page_fetch_fraction : float;
+  undo_records_per_s : float;
+}
+
+let default_config =
+  {
+    log_read_mb_per_s = 500.;
+    replay_records_per_s = 200_000.;
+    page_fetch = Time_ns.us 100;
+    page_fetch_fraction = 0.3;
+    undo_records_per_s = 100_000.;
+  }
+
+type estimate = {
+  analysis : Time_ns.t;
+  redo : Time_ns.t;
+  undo : Time_ns.t;
+  total : Time_ns.t;
+}
+
+let seconds_to_ns s = Time_ns.of_float_us (s *. 1e6)
+
+let recovery_time config ~log_bytes ~records ~loser_records =
+  let scan_s =
+    float_of_int log_bytes /. (config.log_read_mb_per_s *. 1024. *. 1024.)
+  in
+  (* Analysis pass scans the log once; redo scans it again and applies. *)
+  let analysis = seconds_to_ns scan_s in
+  let replay_s = float_of_int records /. config.replay_records_per_s in
+  let fetch_ns =
+    config.page_fetch_fraction *. float_of_int records
+    *. float_of_int config.page_fetch
+  in
+  let redo =
+    Time_ns.add (seconds_to_ns (scan_s +. replay_s))
+      (int_of_float fetch_ns)
+  in
+  let undo =
+    seconds_to_ns (float_of_int loser_records /. config.undo_records_per_s)
+  in
+  { analysis; redo; undo; total = Time_ns.add analysis (Time_ns.add redo undo) }
+
+let simulate ~sim config ~log_bytes ~records ~loser_records ~on_open =
+  let est = recovery_time config ~log_bytes ~records ~loser_records in
+  (* ARIES opens the database after redo completes; undo can be concurrent
+     in modern variants, but the log scan + replay is unavoidable. *)
+  ignore (Sim.schedule sim ~delay:(Time_ns.add est.analysis est.redo) on_open)

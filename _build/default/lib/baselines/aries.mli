@@ -1,0 +1,51 @@
+(** ARIES-style crash-recovery cost model — the "redo replay" Aurora
+    eliminates (§2.4: "no redo replay is required as part of crash
+    recovery since segments are able to generate data blocks on their
+    own").
+
+    A traditional single-node engine recovering after a crash must
+    (1) analyse the log from the last checkpoint, (2) replay every redo
+    record since the checkpoint ("repeating history"), and (3) undo losers
+    — all before the database opens.  Recovery time is therefore linear in
+    log-since-checkpoint.  This module is an analytic/simulated cost model
+    parameterized by device and CPU rates; E4 sweeps the redo backlog and
+    plots it against Aurora's flat recovery. *)
+
+type config = {
+  log_read_mb_per_s : float;  (** Sequential log scan bandwidth. *)
+  replay_records_per_s : float;  (** Redo application rate. *)
+  page_fetch : Simcore.Time_ns.t;  (** Random page read for replay. *)
+  page_fetch_fraction : float;
+      (** Fraction of replayed records whose page is not yet resident. *)
+  undo_records_per_s : float;
+}
+
+val default_config : config
+(** SSD-class device: 500 MB/s scan, 200k replay/s, 100us page fetch with
+    30% miss rate, 100k undo/s. *)
+
+type estimate = {
+  analysis : Simcore.Time_ns.t;
+  redo : Simcore.Time_ns.t;
+  undo : Simcore.Time_ns.t;
+  total : Simcore.Time_ns.t;
+}
+
+val recovery_time :
+  config ->
+  log_bytes:int ->
+  records:int ->
+  loser_records:int ->
+  estimate
+(** Time from crash to database-open for the given backlog. *)
+
+val simulate :
+  sim:Simcore.Sim.t ->
+  config ->
+  log_bytes:int ->
+  records:int ->
+  loser_records:int ->
+  on_open:(unit -> unit) ->
+  unit
+(** Schedule the recovery phases on the simulator clock and call back when
+    the database would open. *)

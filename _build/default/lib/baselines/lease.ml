@@ -1,0 +1,40 @@
+open Simcore
+
+type t = {
+  sim : Sim.t;
+  duration : Time_ns.t;
+  max_clock_skew : Time_ns.t;
+  mutable current : (int * Time_ns.t) option; (* holder, granted_at *)
+}
+
+let create ~sim ~duration ~max_clock_skew =
+  { sim; duration; max_clock_skew; current = None }
+
+let expires_at t granted_at =
+  Time_ns.add granted_at (Time_ns.add t.duration t.max_clock_skew)
+
+let holder t now =
+  match t.current with
+  | Some (h, granted_at) when Time_ns.compare now (expires_at t granted_at) < 0
+    ->
+    Some h
+  | Some _ | None -> None
+
+let takeover_wait t =
+  let now = Sim.now t.sim in
+  match t.current with
+  | Some (_, granted_at) ->
+    let e = expires_at t granted_at in
+    if Time_ns.compare now e < 0 then Time_ns.diff e now else Time_ns.zero
+  | None -> Time_ns.zero
+
+let acquire t ~holder:h =
+  let now = Sim.now t.sim in
+  match holder t now with
+  | Some incumbent when incumbent <> h -> Error (takeover_wait t)
+  | Some _ | None ->
+    t.current <- Some (h, now);
+    Ok ()
+
+let renew t ~holder:h =
+  match acquire t ~holder:h with Ok () -> true | Error _ -> false

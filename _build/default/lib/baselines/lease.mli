@@ -1,0 +1,34 @@
+(** Lease-based fencing — the alternative Aurora rejects in §2.4.
+
+    "Some systems use leases to establish short term entitlements to access
+    the system, but leases introduce latency when one needs to wait for
+    expiry.  Aurora, rather than waiting for a lease to expire, just
+    changes the locks on the door."
+
+    Model: a resource grants a lease of fixed duration to one holder; a
+    successor may not act until the incumbent's lease has provably expired
+    (duration + maximum clock skew).  The E-series experiment compares the
+    takeover latency of this scheme against an epoch bump, which costs one
+    quorum round trip. *)
+
+type t
+
+val create :
+  sim:Simcore.Sim.t ->
+  duration:Simcore.Time_ns.t ->
+  max_clock_skew:Simcore.Time_ns.t ->
+  t
+
+val acquire : t -> holder:int -> (unit, Simcore.Time_ns.t) result
+(** [Ok ()] grants (or renews for the current holder); [Error wait] tells
+    the caller how long until the incumbent lease is safely expired. *)
+
+val renew : t -> holder:int -> bool
+(** Incumbent heartbeat; [false] if the lease already changed hands. *)
+
+val holder : t -> Simcore.Time_ns.t -> int option
+(** Current valid holder at a given instant. *)
+
+val takeover_wait : t -> Simcore.Time_ns.t
+(** How long a successor must wait right now before it can safely act —
+    the latency the paper's epoch scheme avoids. *)

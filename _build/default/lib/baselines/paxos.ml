@@ -1,0 +1,212 @@
+open Simcore
+
+type value = int
+
+(* Ballots order by (round, proposer_id). *)
+type ballot = int * int
+
+let ballot_compare (r1, p1) (r2, p2) =
+  let c = Int.compare r1 r2 in
+  if c <> 0 then c else Int.compare p1 p2
+
+type message =
+  | Prepare of { ballot : ballot }
+  | Promise of {
+      ballot : ballot;
+      accepted : (ballot * value) option;
+      from : Simnet.Addr.t;
+    }
+  | Reject of { ballot : ballot; promised : ballot }
+  | Accept of { ballot : ballot; value : value }
+  | Accepted of { ballot : ballot; from : Simnet.Addr.t }
+
+type config = {
+  acceptors : Simnet.Addr.t list;
+  log_force : Distribution.t;
+  retry_timeout : Time_ns.t;
+}
+
+type stats = { mutable messages : int; mutable rounds : int }
+
+type acceptor_state = {
+  mutable promised : ballot option;
+  mutable accepted : (ballot * value) option;
+}
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  net : message Simnet.Net.t;
+  config : config;
+  stats : stats;
+  acceptor_states : acceptor_state Simnet.Addr.Tbl.t;
+}
+
+let majority t = (List.length t.config.acceptors / 2) + 1
+
+let send t ~src ~dst msg =
+  t.stats.messages <- t.stats.messages + 1;
+  Simnet.Net.send t.net ~src ~dst ~bytes:64 msg
+
+let log_force t k =
+  ignore (Sim.schedule t.sim ~delay:(Distribution.sample t.config.log_force t.rng) k)
+
+let acceptor_handle t self (env : message Simnet.Net.envelope) =
+  let st = Simnet.Addr.Tbl.find t.acceptor_states self in
+  match env.msg with
+  | Prepare { ballot } ->
+    let ok =
+      match st.promised with
+      | Some p -> ballot_compare ballot p >= 0
+      | None -> true
+    in
+    if ok then begin
+      st.promised <- Some ballot;
+      (* Promise is durable before answering. *)
+      log_force t (fun () ->
+          send t ~src:self ~dst:env.src
+            (Promise { ballot; accepted = st.accepted; from = self }))
+    end
+    else
+      send t ~src:self ~dst:env.src
+        (Reject { ballot; promised = Option.get st.promised })
+  | Accept { ballot; value } ->
+    let ok =
+      match st.promised with
+      | Some p -> ballot_compare ballot p >= 0
+      | None -> true
+    in
+    if ok then begin
+      st.promised <- Some ballot;
+      st.accepted <- Some (ballot, value);
+      log_force t (fun () ->
+          send t ~src:self ~dst:env.src (Accepted { ballot; from = self }))
+    end
+    else
+      send t ~src:self ~dst:env.src
+        (Reject { ballot; promised = Option.get st.promised })
+  | Promise _ | Reject _ | Accepted _ -> ()
+
+let create ~sim ~rng ~net ~config () =
+  let t =
+    {
+      sim;
+      rng;
+      net;
+      config;
+      stats = { messages = 0; rounds = 0 };
+      acceptor_states = Simnet.Addr.Tbl.create 8;
+    }
+  in
+  List.iter
+    (fun a ->
+      Simnet.Addr.Tbl.replace t.acceptor_states a
+        { promised = None; accepted = None };
+      Simnet.Net.register net a (acceptor_handle t a))
+    config.acceptors;
+  t
+
+type proposer_round = {
+  ballot : ballot;
+  mutable promises : (ballot * value) option list;
+  mutable promise_count : int;
+  mutable accepted_count : int;
+  mutable phase2 : bool;
+  mutable dead : bool;
+}
+
+let propose t ~proposer ~proposer_id value ~on_chosen =
+  let decided = ref false in
+  let round_no = ref 0 in
+  let current : proposer_round option ref = ref None in
+  let rec start_round () =
+    if not !decided then begin
+      (match !current with Some r -> r.dead <- true | None -> ());
+      incr round_no;
+      t.stats.rounds <- t.stats.rounds + 1;
+      let round =
+        {
+          ballot = (!round_no, proposer_id);
+          promises = [];
+          promise_count = 0;
+          accepted_count = 0;
+          phase2 = false;
+          dead = false;
+        }
+      in
+      current := Some round;
+      List.iter
+        (fun a -> send t ~src:proposer ~dst:a (Prepare { ballot = round.ballot }))
+        t.config.acceptors;
+      (* Jittered retry breaks duelling-proposer livelock. *)
+      let jitter = Rng.int t.rng (Time_ns.to_float_us t.config.retry_timeout |> int_of_float |> max 1) in
+      ignore
+        (Sim.schedule t.sim
+           ~delay:(Time_ns.add t.config.retry_timeout (Time_ns.us jitter))
+           (fun () -> if (not !decided) && not round.dead then start_round ()))
+    end
+  in
+  let handle (env : message Simnet.Net.envelope) =
+    match (!current, env.msg) with
+    | Some round, Promise { ballot; accepted; _ }
+      when (not round.dead) && ballot = round.ballot && not round.phase2 ->
+      round.promises <- accepted :: round.promises;
+      round.promise_count <- round.promise_count + 1;
+      if round.promise_count >= majority t then begin
+        round.phase2 <- true;
+        (* Adopt the highest accepted value among promises, else ours. *)
+        let v =
+          List.fold_left
+            (fun acc p ->
+              match (acc, p) with
+              | None, Some (b, v) -> Some (b, v)
+              | Some (b0, _), Some (b, v) when ballot_compare b b0 > 0 ->
+                Some (b, v)
+              | acc, _ -> acc)
+            None round.promises
+        in
+        let v = match v with Some (_, v) -> v | None -> value in
+        List.iter
+          (fun a ->
+            send t ~src:proposer ~dst:a (Accept { ballot = round.ballot; value = v }))
+          t.config.acceptors;
+        round.promises <- [ Some (round.ballot, v) ]
+      end
+    | Some round, Accepted { ballot; _ }
+      when (not round.dead) && ballot = round.ballot && round.phase2 ->
+      round.accepted_count <- round.accepted_count + 1;
+      if round.accepted_count >= majority t && not !decided then begin
+        decided := true;
+        round.dead <- true;
+        let v =
+          match round.promises with
+          | [ Some (_, v) ] -> v
+          | _ -> value
+        in
+        on_chosen v
+      end
+    | Some round, Reject { ballot; _ } when (not round.dead) && ballot = round.ballot
+      ->
+      start_round ()
+    | _ -> ()
+  in
+  Simnet.Net.register t.net proposer handle;
+  start_round ()
+
+let chosen t =
+  (* A value is chosen once a majority accepted the same ballot. *)
+  let tally = Hashtbl.create 8 in
+  Simnet.Addr.Tbl.iter
+    (fun _ st ->
+      match st.accepted with
+      | Some (ballot, v) ->
+        let k = (ballot, v) in
+        Hashtbl.replace tally k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally k))
+      | None -> ())
+    t.acceptor_states;
+  Hashtbl.fold
+    (fun (_, v) n acc -> if n >= majority t then Some v else acc)
+    tally None
+
+let stats t = t.stats

@@ -1,0 +1,53 @@
+(** Single-decree Paxos (Lamport), the consensus primitive Aurora avoids.
+
+    Complete implementation over the simulated network: proposers run
+    Phase 1 (prepare/promise) and Phase 2 (accept/accepted) with ballots
+    [(round, proposer_id)]; acceptors durably force their promised/accepted
+    state before answering.  Proposers retry with higher ballots on
+    rejection or timeout, so the instance terminates under partial
+    synchrony (and livelocks only as long as the network keeps reordering
+    duels, which the jittered retry breaks with probability 1).
+
+    Used directly in the property-test suite (agreement under message loss
+    and contention) and as the building block of {!Paxos_commit}. *)
+
+type message
+
+type value = int
+
+type config = {
+  acceptors : Simnet.Addr.t list;
+  log_force : Simcore.Distribution.t;
+  retry_timeout : Simcore.Time_ns.t;
+}
+
+type stats = { mutable messages : int; mutable rounds : int }
+
+type t
+(** One consensus group (a set of acceptors). *)
+
+val create :
+  sim:Simcore.Sim.t ->
+  rng:Simcore.Rng.t ->
+  net:message Simnet.Net.t ->
+  config:config ->
+  unit ->
+  t
+(** Registers the acceptor handlers. *)
+
+val propose :
+  t ->
+  proposer:Simnet.Addr.t ->
+  proposer_id:int ->
+  value ->
+  on_chosen:(value -> unit) ->
+  unit
+(** Drive a proposal to completion; [on_chosen] fires with the decided
+    value (possibly another proposer's — that is Paxos).  The proposer
+    address must be registered by this call (it installs a handler). *)
+
+val chosen : t -> value option
+(** The value decided by a majority of acceptors, if any — computed from
+    acceptor state, for test oracles. *)
+
+val stats : t -> stats

@@ -1,0 +1,151 @@
+open Simcore
+
+type message =
+  | Phase1 of { ballot : int }
+  | Phase1_ok of { ballot : int }
+  | Accept of { ballot : int; slot : int; value : int }
+  | Accepted of { ballot : int; slot : int }
+  | Learn of { slot : int; value : int }
+
+type config = {
+  leader : Simnet.Addr.t;
+  acceptors : Simnet.Addr.t list;
+  log_force : Distribution.t;
+}
+
+type stats = {
+  mutable commits : int;
+  mutable messages : int;
+  latency : Histogram.t;
+}
+
+type acceptor_state = {
+  mutable promised : int;
+  log : (int, int) Hashtbl.t; (* slot -> value *)
+}
+
+type slot_state = {
+  started_at : Time_ns.t;
+  mutable acks : int;
+  mutable done_ : bool;
+  value : int;
+  on_done : unit -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  net : message Simnet.Net.t;
+  config : config;
+  stats : stats;
+  acceptor_states : acceptor_state Simnet.Addr.Tbl.t;
+  slots : (int, slot_state) Hashtbl.t;
+  mutable leader_ready : bool;
+  mutable phase1_oks : int;
+  mutable next_slot : int;
+  mutable committed : (int * int) list;
+  mutable backlog : (int * (unit -> unit)) list; (* queued before Phase 1 done *)
+}
+
+let ballot = 1
+let majority t = (List.length t.config.acceptors / 2) + 1
+
+let send t ~src ~dst msg =
+  t.stats.messages <- t.stats.messages + 1;
+  Simnet.Net.send t.net ~src ~dst ~bytes:64 msg
+
+let log_force t k =
+  ignore (Sim.schedule t.sim ~delay:(Distribution.sample t.config.log_force t.rng) k)
+
+let acceptor_handle t self (env : message Simnet.Net.envelope) =
+  let st = Simnet.Addr.Tbl.find t.acceptor_states self in
+  match env.msg with
+  | Phase1 { ballot = b } ->
+    if b >= st.promised then begin
+      st.promised <- b;
+      log_force t (fun () ->
+          send t ~src:self ~dst:env.src (Phase1_ok { ballot = b }))
+    end
+  | Accept { ballot = b; slot; value } ->
+    if b >= st.promised then begin
+      Hashtbl.replace st.log slot value;
+      log_force t (fun () ->
+          send t ~src:self ~dst:env.src (Accepted { ballot = b; slot }))
+    end
+  | Learn { slot; value } -> Hashtbl.replace st.log slot value
+  | Phase1_ok _ | Accepted _ -> ()
+
+let do_commit t value on_done =
+  let slot = t.next_slot in
+  t.next_slot <- slot + 1;
+  Hashtbl.add t.slots slot
+    { started_at = Sim.now t.sim; acks = 0; done_ = false; value; on_done };
+  List.iter
+    (fun a -> send t ~src:t.config.leader ~dst:a (Accept { ballot; slot; value }))
+    t.config.acceptors
+
+let leader_handle t (env : message Simnet.Net.envelope) =
+  match env.msg with
+  | Phase1_ok { ballot = b } when b = ballot && not t.leader_ready ->
+    t.phase1_oks <- t.phase1_oks + 1;
+    if t.phase1_oks >= majority t then begin
+      t.leader_ready <- true;
+      let backlog = List.rev t.backlog in
+      t.backlog <- [];
+      List.iter (fun (v, k) -> do_commit t v k) backlog
+    end
+  | Accepted { ballot = b; slot } when b = ballot -> (
+    match Hashtbl.find_opt t.slots slot with
+    | None -> ()
+    | Some st ->
+      st.acks <- st.acks + 1;
+      if st.acks >= majority t && not st.done_ then begin
+        st.done_ <- true;
+        t.stats.commits <- t.stats.commits + 1;
+        t.committed <- (slot, st.value) :: t.committed;
+        Histogram.record_span t.stats.latency st.started_at (Sim.now t.sim);
+        (* Asynchronous learn: not on the client's critical path. *)
+        List.iter
+          (fun a ->
+            send t ~src:t.config.leader ~dst:a (Learn { slot; value = st.value }))
+          t.config.acceptors;
+        st.on_done ()
+      end)
+  | Phase1 _ | Phase1_ok _ | Accept _ | Learn _ | Accepted _ -> ()
+
+let create ~sim ~rng ~net ~config () =
+  let t =
+    {
+      sim;
+      rng;
+      net;
+      config;
+      stats = { commits = 0; messages = 0; latency = Histogram.create () };
+      acceptor_states = Simnet.Addr.Tbl.create 8;
+      slots = Hashtbl.create 64;
+      leader_ready = false;
+      phase1_oks = 0;
+      next_slot = 0;
+      committed = [];
+      backlog = [];
+    }
+  in
+  List.iter
+    (fun a ->
+      Simnet.Addr.Tbl.replace t.acceptor_states a
+        { promised = 0; log = Hashtbl.create 64 };
+      Simnet.Net.register net a (acceptor_handle t a))
+    config.acceptors;
+  Simnet.Net.register net config.leader (leader_handle t);
+  (* Phase 1 once, at leadership acquisition. *)
+  List.iter
+    (fun a -> send t ~src:config.leader ~dst:a (Phase1 { ballot }))
+    config.acceptors;
+  t
+
+let commit t ~value ~on_done =
+  if t.leader_ready then do_commit t value on_done
+  else t.backlog <- (value, on_done) :: t.backlog
+
+let log_length t = List.length t.committed
+let stats t = t.stats

@@ -1,0 +1,44 @@
+(** Multi-Paxos replicated log used as a commit protocol — "Paxos commit"
+    in the paper's terminology (§1, §2.3).
+
+    A stable leader owns the log: it runs Phase 1 once (on election) and
+    thereafter each commit is one Phase 2 round — Accept to all acceptors,
+    durable force at each, majority of Accepted back, then an asynchronous
+    Learn broadcast.  This is the *cheap* variant of consensus-per-commit;
+    2PC-over-Paxos would be costlier.  Even so, each commit costs a
+    synchronous majority round trip with a log force inside, versus
+    Aurora's asynchronous quorum acks with no ordering round at all. *)
+
+type message
+
+type config = {
+  leader : Simnet.Addr.t;
+  acceptors : Simnet.Addr.t list;
+  log_force : Simcore.Distribution.t;
+}
+
+type stats = {
+  mutable commits : int;
+  mutable messages : int;
+  latency : Simcore.Histogram.t;
+}
+
+type t
+
+val create :
+  sim:Simcore.Sim.t ->
+  rng:Simcore.Rng.t ->
+  net:message Simnet.Net.t ->
+  config:config ->
+  unit ->
+  t
+(** Registers handlers and runs the leader's Phase 1 immediately. *)
+
+val commit : t -> value:int -> on_done:(unit -> unit) -> unit
+(** Append a value to the replicated log; [on_done] fires when a majority
+    has durably accepted it (the client-visible commit point). *)
+
+val log_length : t -> int
+(** Committed log entries at the leader. *)
+
+val stats : t -> stats

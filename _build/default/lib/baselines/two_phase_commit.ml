@@ -1,0 +1,157 @@
+open Simcore
+
+type message =
+  | Prepare of { txn : int }
+  | Vote of { txn : int; yes : bool }
+  | Decide of { txn : int; commit : bool }
+  | Decide_ack of { txn : int }
+
+type config = {
+  participants : Simnet.Addr.t list;
+  coordinator : Simnet.Addr.t;
+  log_force : Distribution.t;
+  prepare_vote_abort_probability : float;
+}
+
+type decision = Committed | Aborted
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable messages : int;
+  latency : Histogram.t;
+}
+
+type txn_state = {
+  started_at : Time_ns.t;
+  mutable votes : int;
+  mutable nacked : bool;
+  mutable acks : int;
+  mutable decided : bool;
+  on_done : decision -> unit;
+}
+
+type participant_state = { mutable prepared : int list (* txns in doubt *) }
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  net : message Simnet.Net.t;
+  config : config;
+  stats : stats;
+  txns : (int, txn_state) Hashtbl.t;
+  participant_states : participant_state Simnet.Addr.Tbl.t;
+  mutable next_txn : int;
+}
+
+let n_participants t = List.length t.config.participants
+
+let send t ~src ~dst msg =
+  t.stats.messages <- t.stats.messages + 1;
+  Simnet.Net.send t.net ~src ~dst ~bytes:64 msg
+
+let log_force t k =
+  let delay = Distribution.sample t.config.log_force t.rng in
+  ignore (Sim.schedule t.sim ~delay k)
+
+let participant_state t addr =
+  match Simnet.Addr.Tbl.find_opt t.participant_states addr with
+  | Some s -> s
+  | None ->
+    let s = { prepared = [] } in
+    Simnet.Addr.Tbl.add t.participant_states addr s;
+    s
+
+let finish t txn_id st decision =
+  if not st.decided then begin
+    st.decided <- true;
+    (match decision with
+    | Committed -> t.stats.commits <- t.stats.commits + 1
+    | Aborted -> t.stats.aborts <- t.stats.aborts + 1);
+    Histogram.record_span t.stats.latency st.started_at (Sim.now t.sim);
+    Hashtbl.remove t.txns txn_id;
+    st.on_done decision
+  end
+
+let coordinator_handle t (env : message Simnet.Net.envelope) =
+  match env.msg with
+  | Vote { txn; yes } -> (
+    match Hashtbl.find_opt t.txns txn with
+    | None -> ()
+    | Some st ->
+      if not yes then st.nacked <- true;
+      st.votes <- st.votes + 1;
+      if st.votes = n_participants t then begin
+        let commit = not st.nacked in
+        (* Coordinator forces its decision record before phase 2. *)
+        log_force t (fun () ->
+            List.iter
+              (fun p ->
+                send t ~src:t.config.coordinator ~dst:p (Decide { txn; commit }))
+              t.config.participants)
+      end)
+  | Decide_ack { txn } -> (
+    match Hashtbl.find_opt t.txns txn with
+    | None -> ()
+    | Some st ->
+      st.acks <- st.acks + 1;
+      if st.acks = n_participants t then
+        finish t txn st (if st.nacked then Aborted else Committed))
+  | Prepare _ | Decide _ -> ()
+
+let participant_handle t self (env : message Simnet.Net.envelope) =
+  let ps = participant_state t self in
+  match env.msg with
+  | Prepare { txn } ->
+    let yes = not (Rng.bernoulli t.rng t.config.prepare_vote_abort_probability) in
+    (* Participant forces its prepare record before voting. *)
+    log_force t (fun () ->
+        if yes then ps.prepared <- txn :: ps.prepared;
+        send t ~src:self ~dst:t.config.coordinator (Vote { txn; yes }))
+  | Decide { txn; commit = _ } ->
+    log_force t (fun () ->
+        ps.prepared <- List.filter (fun x -> x <> txn) ps.prepared;
+        send t ~src:self ~dst:t.config.coordinator (Decide_ack { txn }))
+  | Vote _ | Decide_ack _ -> ()
+
+let create ~sim ~rng ~net ~config () =
+  let t =
+    {
+      sim;
+      rng;
+      net;
+      config;
+      stats = { commits = 0; aborts = 0; messages = 0; latency = Histogram.create () };
+      txns = Hashtbl.create 64;
+      participant_states = Simnet.Addr.Tbl.create 8;
+      next_txn = 0;
+    }
+  in
+  Simnet.Net.register net config.coordinator (coordinator_handle t);
+  List.iter
+    (fun p -> Simnet.Net.register net p (participant_handle t p))
+    config.participants;
+  t
+
+let commit t ~on_done =
+  let txn = t.next_txn in
+  t.next_txn <- txn + 1;
+  Hashtbl.add t.txns txn
+    {
+      started_at = Sim.now t.sim;
+      votes = 0;
+      nacked = false;
+      acks = 0;
+      decided = false;
+      on_done;
+    };
+  List.iter
+    (fun p -> send t ~src:t.config.coordinator ~dst:p (Prepare { txn }))
+    t.config.participants
+
+let stats t = t.stats
+
+let blocked_transactions t =
+  Simnet.Addr.Tbl.fold
+    (fun _ ps acc -> acc + List.length ps.prepared)
+    t.participant_states 0

@@ -1,0 +1,55 @@
+(** Two-phase commit over the simulated network — the classical distributed
+    commit protocol Aurora's quorum-ack commit is compared against (§1,
+    §2.3, §5).
+
+    A coordinator drives PREPARE to all participants, collects unanimous
+    votes, then drives COMMIT/ABORT and collects acknowledgements.  The
+    client-visible commit point is when all participants acknowledge the
+    decision's durability (the conservative, synchronous variant used by
+    traditional systems).  Cost per commit: 2 round trips to every
+    participant, 4n messages, plus two durable log forces at each
+    participant and one at the coordinator — and a blocking window if the
+    coordinator dies between phases, which the experiment measures by
+    injecting coordinator crashes. *)
+
+type message
+(** Protocol messages; instantiate the network with this type. *)
+
+type config = {
+  participants : Simnet.Addr.t list;
+  coordinator : Simnet.Addr.t;
+  log_force : Simcore.Distribution.t;
+      (** Durable log-force latency at each node per phase. *)
+  prepare_vote_abort_probability : float;
+      (** Chance a participant votes NO (client sees an abort). *)
+}
+
+type decision = Committed | Aborted
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable messages : int;
+  latency : Simcore.Histogram.t;
+}
+
+type t
+
+val create :
+  sim:Simcore.Sim.t ->
+  rng:Simcore.Rng.t ->
+  net:message Simnet.Net.t ->
+  config:config ->
+  unit ->
+  t
+(** Registers coordinator and participant handlers on the network. *)
+
+val commit : t -> on_done:(decision -> unit) -> unit
+(** Run one distributed commit. *)
+
+val stats : t -> stats
+
+val blocked_transactions : t -> int
+(** Transactions stuck in the prepared state awaiting a coordinator
+    decision — 2PC's notorious blocking window, visible when the harness
+    crashes the coordinator between phases. *)

@@ -1,0 +1,133 @@
+open Simcore
+
+type message =
+  | Write of { req : int; key : string; value : string }
+  | Write_ack of { req : int }
+  | Read of { req : int; key : string }
+  | Read_reply of { req : int; value : string option }
+
+type config = {
+  client : Simnet.Addr.t;
+  replicas : Simnet.Addr.t list;
+  disk : Distribution.t;
+}
+
+type stats = {
+  mutable writes : int;
+  mutable reads : int;
+  mutable messages : int;
+  write_latency : Histogram.t;
+  read_latency : Histogram.t;
+}
+
+type pending =
+  | Pwrite of {
+      started_at : Time_ns.t;
+      mutable acks : int;
+      on_done : unit -> unit;
+    }
+  | Pread of { started_at : Time_ns.t; on_done : string option -> unit }
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  net : message Simnet.Net.t;
+  config : config;
+  stats : stats;
+  stores : (string, string) Hashtbl.t Simnet.Addr.Tbl.t;
+  pendings : (int, pending) Hashtbl.t;
+  mutable next_req : int;
+  mutable rr : int; (* round-robin read target *)
+}
+
+let send t ~src ~dst msg =
+  t.stats.messages <- t.stats.messages + 1;
+  Simnet.Net.send t.net ~src ~dst ~bytes:128 msg
+
+let replica_handle t self (env : message Simnet.Net.envelope) =
+  let store = Simnet.Addr.Tbl.find t.stores self in
+  match env.msg with
+  | Write { req; key; value } ->
+    ignore
+      (Sim.schedule t.sim ~delay:(Distribution.sample t.config.disk t.rng)
+         (fun () ->
+           Hashtbl.replace store key value;
+           send t ~src:self ~dst:env.src (Write_ack { req })))
+  | Read { req; key } ->
+    ignore
+      (Sim.schedule t.sim ~delay:(Distribution.sample t.config.disk t.rng)
+         (fun () ->
+           send t ~src:self ~dst:env.src
+             (Read_reply { req; value = Hashtbl.find_opt store key })))
+  | Write_ack _ | Read_reply _ -> ()
+
+let client_handle t (env : message Simnet.Net.envelope) =
+  match env.msg with
+  | Write_ack { req } -> (
+    match Hashtbl.find_opt t.pendings req with
+    | Some (Pwrite p) ->
+      p.acks <- p.acks + 1;
+      if p.acks = List.length t.config.replicas then begin
+        Hashtbl.remove t.pendings req;
+        t.stats.writes <- t.stats.writes + 1;
+        Histogram.record_span t.stats.write_latency p.started_at (Sim.now t.sim);
+        p.on_done ()
+      end
+    | Some (Pread _) | None -> ())
+  | Read_reply { req; value } -> (
+    match Hashtbl.find_opt t.pendings req with
+    | Some (Pread p) ->
+      Hashtbl.remove t.pendings req;
+      t.stats.reads <- t.stats.reads + 1;
+      Histogram.record_span t.stats.read_latency p.started_at (Sim.now t.sim);
+      p.on_done value
+    | Some (Pwrite _) | None -> ())
+  | Write _ | Read _ -> ()
+
+let create ~sim ~rng ~net ~config () =
+  let t =
+    {
+      sim;
+      rng;
+      net;
+      config;
+      stats =
+        {
+          writes = 0;
+          reads = 0;
+          messages = 0;
+          write_latency = Histogram.create ();
+          read_latency = Histogram.create ();
+        };
+      stores = Simnet.Addr.Tbl.create 8;
+      pendings = Hashtbl.create 64;
+      next_req = 0;
+      rr = 0;
+    }
+  in
+  List.iter
+    (fun r ->
+      Simnet.Addr.Tbl.replace t.stores r (Hashtbl.create 256);
+      Simnet.Net.register net r (replica_handle t r))
+    config.replicas;
+  Simnet.Net.register net config.client (client_handle t);
+  t
+
+let write t ~key ~value ~on_done =
+  let req = t.next_req in
+  t.next_req <- req + 1;
+  Hashtbl.add t.pendings req
+    (Pwrite { started_at = Sim.now t.sim; acks = 0; on_done });
+  List.iter
+    (fun r -> send t ~src:t.config.client ~dst:r (Write { req; key; value }))
+    t.config.replicas
+
+let read t ~key ~on_done =
+  let req = t.next_req in
+  t.next_req <- req + 1;
+  Hashtbl.add t.pendings req (Pread { started_at = Sim.now t.sim; on_done });
+  let target = List.nth t.config.replicas (t.rr mod List.length t.config.replicas) in
+  t.rr <- t.rr + 1;
+  send t ~src:t.config.client ~dst:target (Read { req; key })
+
+let stats t = t.stats

@@ -1,0 +1,41 @@
+(** Write-all / read-one replication — the "traditional replication model"
+    of §3.1: every write must reach every replica (great read cost, worst
+    write availability), so reads can be served by any single copy.
+
+    Used by the E8 read experiment as the reference point for read I/O
+    amplification, and to demonstrate the write-availability flip side:
+    one dead replica blocks all writes until it is removed. *)
+
+type message
+
+type config = {
+  client : Simnet.Addr.t;
+  replicas : Simnet.Addr.t list;
+  disk : Simcore.Distribution.t;
+}
+
+type stats = {
+  mutable writes : int;
+  mutable reads : int;
+  mutable messages : int;
+  write_latency : Simcore.Histogram.t;
+  read_latency : Simcore.Histogram.t;
+}
+
+type t
+
+val create :
+  sim:Simcore.Sim.t ->
+  rng:Simcore.Rng.t ->
+  net:message Simnet.Net.t ->
+  config:config ->
+  unit ->
+  t
+
+val write : t -> key:string -> value:string -> on_done:(unit -> unit) -> unit
+(** Completes only when every replica acknowledged (write-all). *)
+
+val read : t -> key:string -> on_done:(string option -> unit) -> unit
+(** One I/O to one replica (read-one). *)
+
+val stats : t -> stats

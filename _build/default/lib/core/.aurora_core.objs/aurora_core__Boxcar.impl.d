@@ -1,0 +1,1 @@
+lib/core/boxcar.ml: List Sim Simcore Time_ns Wal

@@ -1,0 +1,1 @@
+lib/core/boxcar.mli: Simcore Wal

@@ -1,0 +1,1 @@
+lib/core/buffer_cache.ml: Block_id Hashtbl List Log_record Lsn Storage Wal

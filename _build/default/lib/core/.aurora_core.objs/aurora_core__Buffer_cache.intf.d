@@ -1,0 +1,1 @@
+lib/core/buffer_cache.mli: Block_id Log_record Lsn Storage Wal

@@ -1,0 +1,1 @@
+lib/core/commit_queue.ml: List Lsn Queue Txn_id Wal

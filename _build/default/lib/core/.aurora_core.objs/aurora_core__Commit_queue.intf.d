@@ -1,0 +1,1 @@
+lib/core/commit_queue.mli: Lsn Txn_id Wal

@@ -1,0 +1,1 @@
+lib/core/consistency.ml: List Lsn Member_id Queue Quorum Quorum_set Storage Wal

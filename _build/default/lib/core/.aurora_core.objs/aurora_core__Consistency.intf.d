@@ -1,0 +1,1 @@
+lib/core/consistency.mli: Lsn Member_id Quorum Quorum_set Storage Wal

@@ -1,0 +1,1 @@
+lib/core/database.mli: Block_id Boxcar Buffer_cache Consistency Lsn Member_id Membership Quorum Reader Recovery Simcore Simnet Storage Txn_id Txn_table Volume Wal

@@ -1,0 +1,1 @@
+lib/core/read_view.ml: Lsn Storage Txn_id Wal

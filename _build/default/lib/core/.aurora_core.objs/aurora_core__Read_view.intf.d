@@ -1,0 +1,1 @@
+lib/core/read_view.mli: Lsn Storage Txn_id Wal

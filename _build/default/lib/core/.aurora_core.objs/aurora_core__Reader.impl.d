@@ -1,0 +1,1 @@
+lib/core/reader.ml: Block_id Float Format Hashtbl Histogram List Lsn Member_id Quorum Rng Sim Simcore Simnet Stats Storage Time_ns Wal

@@ -1,0 +1,1 @@
+lib/core/reader.mli: Block_id Lsn Member_id Quorum Simcore Simnet Storage Wal

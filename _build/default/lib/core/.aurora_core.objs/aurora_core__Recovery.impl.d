@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Block_id Epoch Hashtbl List Log_record Lsn Member_id Quorum Quorum_set Sim Simcore Simnet Storage Time_ns Txn_id Volume Wal

@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Block_id Log_record Lsn Member_id Quorum Simcore Simnet Storage Txn_id Volume Wal

@@ -1,0 +1,1 @@
+lib/core/replica.ml: Block_id Buffer_cache Database Epoch Hashtbl Histogram List Log_record Lsn Membership Quorum Read_view Reader Rng Sim Simcore Simnet Storage String Time_ns Txn_table Volume Wal

@@ -1,0 +1,1 @@
+lib/core/replica.mli: Buffer_cache Database Lsn Reader Recovery Simcore Simnet Storage Txn_id Volume Wal

@@ -1,0 +1,1 @@
+lib/core/txn_table.ml: Hashtbl List Lsn Txn_id Wal

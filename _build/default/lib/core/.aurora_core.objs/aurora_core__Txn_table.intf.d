@@ -1,0 +1,1 @@
+lib/core/txn_table.mli: Lsn Txn_id Wal

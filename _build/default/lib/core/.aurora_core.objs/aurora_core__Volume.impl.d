@@ -1,0 +1,1 @@
+lib/core/volume.ml: Block_id Epoch List Log_record Lsn Member_id Membership Quorum Simnet Storage Wal

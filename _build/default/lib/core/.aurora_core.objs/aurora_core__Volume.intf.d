@@ -1,0 +1,1 @@
+lib/core/volume.mli: Block_id Epoch Log_record Lsn Member_id Membership Quorum Quorum_set Simnet Storage Txn_id Wal

@@ -1,0 +1,179 @@
+open Wal
+
+type cached_block = {
+  keys : (string, Storage.Block_store.version list) Hashtbl.t;
+  mutable last_lsn : Lsn.t;
+  mutable last_used : int;
+  (* A block created by a blind write holds only the keys written since it
+     entered the cache; only a storage image makes it authoritative for
+     absent keys. *)
+  mutable complete : bool;
+}
+
+type stats = { hits : int; misses : int; evictions : int; eviction_blocked : int }
+
+type t = {
+  capacity : int;
+  table : cached_block Block_id.Tbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable eviction_blocked : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_cache.create: capacity";
+  {
+    capacity;
+    table = Block_id.Tbl.create capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    eviction_blocked = 0;
+  }
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.last_used <- t.clock
+
+let contains t block = Block_id.Tbl.mem t.table block
+
+type lookup =
+  | Hit of Storage.Block_store.version list
+  | Partial of Storage.Block_store.version list
+  | Miss
+
+let read t block ~key =
+  match Block_id.Tbl.find_opt t.table block with
+  | None ->
+    t.misses <- t.misses + 1;
+    Miss
+  | Some entry ->
+    touch t entry;
+    let chain =
+      match Hashtbl.find_opt entry.keys key with Some l -> l | None -> []
+    in
+    if entry.complete then begin
+      t.hits <- t.hits + 1;
+      Hit chain
+    end
+    else Partial chain
+
+(* Evict LRU blocks whose redo is durable (last_lsn <= vdl) until at
+   capacity.  Dirty blocks are skipped; if everything over capacity is
+   dirty we stay oversized — the WAL rule wins over the memory target. *)
+let evict_pressure t ~vdl =
+  let excess () = Block_id.Tbl.length t.table - t.capacity in
+  let continue = ref (excess () > 0) in
+  while !continue do
+    let victim =
+      Block_id.Tbl.fold
+        (fun block entry acc ->
+          if Lsn.(entry.last_lsn <= vdl) then
+            match acc with
+            | Some (_, best) when best.last_used <= entry.last_used -> acc
+            | _ -> Some (block, entry)
+          else acc)
+        t.table None
+    in
+    match victim with
+    | Some (block, _) ->
+      Block_id.Tbl.remove t.table block;
+      t.evictions <- t.evictions + 1;
+      continue := excess () > 0
+    | None ->
+      t.eviction_blocked <- t.eviction_blocked + 1;
+      continue := false
+  done
+
+let entry_of t block =
+  match Block_id.Tbl.find_opt t.table block with
+  | Some e -> e
+  | None ->
+    let e =
+      { keys = Hashtbl.create 8; last_lsn = Lsn.none; last_used = 0; complete = false }
+    in
+    Block_id.Tbl.add t.table block e;
+    e
+
+let apply_to_entry t entry (r : Log_record.t) =
+  (match r.op with
+  | Put { key; value } ->
+    let prior =
+      match Hashtbl.find_opt entry.keys key with Some l -> l | None -> []
+    in
+    Hashtbl.replace entry.keys key
+      ({ Storage.Block_store.value = Some value; txn = r.txn; lsn = r.lsn }
+      :: prior)
+  | Delete { key } ->
+    let prior =
+      match Hashtbl.find_opt entry.keys key with Some l -> l | None -> []
+    in
+    Hashtbl.replace entry.keys key
+      ({ Storage.Block_store.value = None; txn = r.txn; lsn = r.lsn } :: prior)
+  | Commit | Abort | Noop -> ());
+  if Lsn.(r.lsn > entry.last_lsn) then entry.last_lsn <- r.lsn;
+  touch t entry
+
+let apply t r ~vdl =
+  let entry = entry_of t r.Log_record.block in
+  apply_to_entry t entry r;
+  evict_pressure t ~vdl
+
+let apply_if_present t r ~vdl =
+  match Block_id.Tbl.find_opt t.table r.Log_record.block with
+  | None -> false
+  | Some entry ->
+    apply_to_entry t entry r;
+    evict_pressure t ~vdl;
+    true
+
+let note_partial_hit t = t.hits <- t.hits + 1
+
+let install t (img : Storage.Protocol.block_image) ~vdl =
+  let entry = entry_of t img.image_block in
+  entry.complete <- true;
+  List.iter
+    (fun (key, versions) ->
+      (* Merge: keep whichever chain is longer/newer.  Locally written
+         versions above the image's as_of must not be lost. *)
+      let local =
+        match Hashtbl.find_opt entry.keys key with Some l -> l | None -> []
+      in
+      let merged =
+        let newer =
+          List.filter
+            (fun (v : Storage.Block_store.version) ->
+              Lsn.(v.lsn > img.image_as_of))
+            local
+        in
+        newer @ versions
+      in
+      Hashtbl.replace entry.keys key merged;
+      List.iter
+        (fun (v : Storage.Block_store.version) ->
+          if Lsn.(v.lsn > entry.last_lsn) then entry.last_lsn <- v.lsn)
+        merged)
+    img.image_entries;
+  touch t entry;
+  evict_pressure t ~vdl
+
+let last_modified t block =
+  match Block_id.Tbl.find_opt t.table block with
+  | None -> None
+  | Some e -> Some e.last_lsn
+
+let size t = Block_id.Tbl.length t.table
+let capacity t = t.capacity
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    eviction_blocked = t.eviction_blocked;
+  }
+
+let drop_all t = Block_id.Tbl.reset t.table

@@ -1,0 +1,29 @@
+open Wal
+
+type entry = { txn : Txn_id.t; scn : Lsn.t; on_ack : unit -> unit }
+
+type t = { queue : entry Queue.t }
+
+let create () = { queue = Queue.create () }
+
+let enqueue t ~txn ~scn ~on_ack = Queue.push { txn; scn; on_ack } t.queue
+
+let drain t ~vcl =
+  let acked = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.queue with
+    | Some entry when Lsn.(entry.scn <= vcl) ->
+      ignore (Queue.pop t.queue : entry);
+      incr acked;
+      entry.on_ack ()
+    | Some _ | None -> continue := false
+  done;
+  !acked
+
+let pending t = Queue.length t.queue
+
+let drop_all t =
+  let entries = Queue.fold (fun acc e -> (e.txn, e.scn) :: acc) [] t.queue in
+  Queue.clear t.queue;
+  List.rev entries

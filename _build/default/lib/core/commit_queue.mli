@@ -1,0 +1,30 @@
+(** Asynchronous commit processing (§2.3).
+
+    "When a commit is received, the worker thread writes the commit record,
+    puts the transaction on a commit queue, and returns to a common task
+    queue ... When a driver thread advances VCL, it wakes up a dedicated
+    commit thread that scans the commit queue for SCNs below the new VCL
+    and sends acknowledgements."  No thread ever stalls on a commit; there
+    is no group-commit latency.
+
+    In the simulator the "dedicated commit thread" is {!drain}, invoked
+    from the consistency tracker's VCL-advance hook. *)
+
+open Wal
+
+type t
+
+val create : unit -> t
+
+val enqueue : t -> txn:Txn_id.t -> scn:Lsn.t -> on_ack:(unit -> unit) -> unit
+(** Park a committing transaction until VCL covers its SCN.  SCNs arrive in
+    allocation order, so the queue is FIFO. *)
+
+val drain : t -> vcl:Lsn.t -> int
+(** Acknowledge every parked commit with [scn <= vcl]; returns how many. *)
+
+val pending : t -> int
+
+val drop_all : t -> (Txn_id.t * Lsn.t) list
+(** Crash: unacknowledged commits are abandoned (their fate is decided by
+    recovery); returns what was parked, for accounting. *)

@@ -1,0 +1,74 @@
+(** Storage consistency points (§2.3, Figure 3).
+
+    The database instance advances all consistency points by pure local
+    bookkeeping over write acknowledgements — no consensus round ever runs:
+
+    - {b SCL} (per segment): reported by each storage node in its acks; the
+      gapless prefix of the segment chain it holds.
+    - {b PGCL} (per protection group): the point at which the group has made
+      all its writes durable — the highest LSN [L] routed to the group such
+      that the segments with [SCL >= L] satisfy the group's write quorum.
+    - {b VCL} (volume): the highest LSN such that every record at or below
+      it, across all groups, is durable — "the entire log chain must be
+      complete to ensure recoverability".
+    - {b VDL} (volume durable): the highest MTR-completion record at or
+      below VCL; reads and replica application anchor here so structural
+      changes stay atomic (§3.3).
+
+    The tracker is told (a) each record's submission, in LSN order, with its
+    owning group and MTR-end flag, and (b) each (segment, SCL) ack.  Commit
+    acknowledgement hooks fire as VCL advances (§2.3's "dedicated commit
+    thread"). *)
+
+open Wal
+open Quorum
+
+type t
+
+val create : unit -> t
+
+val register_pg : t -> Storage.Pg_id.t -> write_quorum:Quorum_set.t -> unit
+(** Declare a protection group and its current write-quorum expression.
+    Re-registering replaces the expression (membership epochs change it). *)
+
+val set_write_quorum : t -> Storage.Pg_id.t -> Quorum_set.t -> unit
+
+val note_submitted :
+  t -> pg:Storage.Pg_id.t -> lsn:Lsn.t -> mtr_end:bool -> unit
+(** Record that the writer allocated/submitted this LSN to this group.
+    Must be called in ascending LSN order across the whole volume.
+    @raise Invalid_argument on out-of-order submission or unknown group. *)
+
+val note_ack : t -> pg:Storage.Pg_id.t -> seg:Member_id.t -> scl:Lsn.t -> unit
+(** Process a write acknowledgement.  Acknowledgements may be delivered out
+    of order; since a segment's SCL is monotone, values lower than already
+    observed are ignored as stale. *)
+
+val segment_scl : t -> pg:Storage.Pg_id.t -> seg:Member_id.t -> Lsn.t
+val pgcl : t -> Storage.Pg_id.t -> Lsn.t
+val vcl : t -> Lsn.t
+val vdl : t -> Lsn.t
+
+val segments_at_or_above :
+  t -> pg:Storage.Pg_id.t -> lsn:Lsn.t -> Member_id.Set.t
+(** Segments whose SCL covers [lsn] — exactly the candidates that hold the
+    latest durable version of a block written at [lsn], which is what lets
+    Aurora read from one segment instead of a read quorum (§3.1). *)
+
+val on_vcl_advance : t -> (Lsn.t -> unit) -> unit
+(** Register a callback fired (with the new VCL) every time VCL advances. *)
+
+val on_vdl_advance : t -> (Lsn.t -> unit) -> unit
+
+val pending_submissions : t -> int
+(** Records submitted but not yet covered by VCL (in-flight window). *)
+
+val restore :
+  t ->
+  vcl:Lsn.t ->
+  vdl:Lsn.t ->
+  pg_points:(Storage.Pg_id.t * Lsn.t) list ->
+  unit
+(** Re-establish consistency points computed by crash recovery (§2.4):
+    installs VCL/VDL/PGCLs directly and clears in-flight bookkeeping.
+    Write quorum registrations and SCL observations survive. *)

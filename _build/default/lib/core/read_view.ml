@@ -1,0 +1,26 @@
+open Wal
+
+type t = { as_of : Lsn.t; owner : Txn_id.t option }
+
+let make ~as_of ?owner () = { as_of; owner }
+
+let visible t ~commit_scn (v : Storage.Block_store.version) =
+  match t.owner with
+  (* A transaction always sees its own writes, even above the anchor:
+     "after which it may not see any changes other than its own". *)
+  | Some me when Txn_id.equal me v.txn -> true
+  | Some _ | None -> (
+    Lsn.(v.lsn <= t.as_of)
+    &&
+    match commit_scn v.txn with
+    | Some scn -> Lsn.(scn <= t.as_of)
+    | None -> false)
+
+let rec pick t ~commit_scn = function
+  | [] -> None
+  | v :: rest -> if visible t ~commit_scn v then Some v else pick t ~commit_scn rest
+
+let value t ~commit_scn versions =
+  match pick t ~commit_scn versions with
+  | None -> None
+  | Some v -> v.value

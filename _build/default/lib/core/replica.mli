@@ -1,0 +1,85 @@
+(** Aurora read replicas (§3.2–3.4).
+
+    Replicas attach to the same storage volume as the writer; the writer
+    ships a physical redo stream (in atomic MTR chunks), VDL control
+    records, and commit notifications.  The replica applies redo only to
+    blocks already in its cache — uncached blocks can always be fetched
+    from shared storage — and anchors every read view at the writer VDL it
+    has seen, so it never observes a structurally or transactionally
+    inconsistent state.  It reports its lowest active read point back to
+    the writer, which folds it into PGMRPL so storage never garbage
+    collects a version the replica might still need.
+
+    Because durable state is shared, a replica can be promoted to writer
+    with no data loss for acknowledged commits: promotion is exactly the
+    §2.4 crash-recovery procedure run from the replica's address. *)
+
+open Wal
+
+type config = {
+  n_blocks : int;
+      (** Key->block hashing; must match the writer's {!Database.config}. *)
+  cache_capacity : int;
+  read_strategy : Reader.strategy;
+  feedback_interval : Simcore.Time_ns.t;
+      (** Cadence of read-floor reports to the writer. *)
+}
+
+val default_config : config
+
+type metrics = {
+  mutable chunks_applied : int;
+  mutable records_applied : int;
+  mutable records_skipped : int;  (** Redo for uncached blocks (discarded). *)
+  mutable commits_seen : int;
+  mutable gets : int;
+  mutable cache_hit_reads : int;
+  mutable storage_reads : int;
+  mutable stale_streams_dropped : int;
+  stream_lag : Simcore.Histogram.t;
+      (** Network + apply delay of stream batches. *)
+}
+
+type t
+
+val create :
+  sim:Simcore.Sim.t ->
+  rng:Simcore.Rng.t ->
+  net:Storage.Protocol.t Simnet.Net.t ->
+  addr:Simnet.Addr.t ->
+  volume:Volume.t ->
+  writer:Simnet.Addr.t ->
+  config:config ->
+  unit ->
+  t
+(** [volume] is shared read-only with the writer: the replica consults
+    routing, rosters, and epochs but never allocates from it. *)
+
+val start : t -> unit
+val addr : t -> Simnet.Addr.t
+val vdl_seen : t -> Lsn.t
+(** The replica's current read anchor. *)
+
+val metrics : t -> metrics
+val cache : t -> Buffer_cache.t
+val is_running : t -> bool
+
+val get : t -> key:string -> ((string option, string) result -> unit) -> unit
+(** Snapshot read anchored at {!vdl_seen}. *)
+
+val committed : t -> Txn_id.t -> Lsn.t option
+(** Commit SCN as known from shipped notifications. *)
+
+val read_floor : t -> Lsn.t
+(** Lowest LSN any active view on this replica might read. *)
+
+val stop : t -> unit
+
+val promote :
+  t ->
+  config:Database.config ->
+  ((Database.t * Recovery.outcome, string) result -> unit) ->
+  unit
+(** Promote to writer: stop replica service and run crash recovery against
+    the shared volume from this address.  On success the returned database
+    is open for writes and no acknowledged commit has been lost (§3.2). *)

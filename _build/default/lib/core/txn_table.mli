@@ -1,0 +1,45 @@
+(** Transaction status table.
+
+    Owned by the writer instance (locking, transaction management and
+    constraints all resolve at the database tier, §2.2); a reduced copy is
+    maintained by each replica from shipped commit notifications (§3.4).
+    Storage nodes never consult it — they accept every write. *)
+
+open Wal
+
+type status =
+  | Active
+  | Committed of Lsn.t  (** The commit record's LSN — the SCN. *)
+  | Aborted
+
+type t
+
+val create : unit -> t
+
+val begin_txn : t -> Txn_id.t
+(** Allocate and register a new active transaction. *)
+
+val register : t -> Txn_id.t -> unit
+(** Register an externally allocated id as active (replica promotion /
+    recovery bookkeeping). *)
+
+val note_floor : t -> Txn_id.t -> unit
+(** Never allocate ids at or below this one (recovery: ids seen in the
+    recovered log must not be reused). *)
+
+val status : t -> Txn_id.t -> status option
+val mark_committed : t -> Txn_id.t -> scn:Lsn.t -> unit
+val mark_aborted : t -> Txn_id.t -> unit
+
+val commit_scn : t -> Txn_id.t -> Lsn.t option
+(** [Some scn] iff the transaction committed. *)
+
+val is_active : t -> Txn_id.t -> bool
+val active : t -> Txn_id.Set.t
+val active_count : t -> int
+
+val commits_since : t -> Lsn.t -> (Txn_id.t * Lsn.t) list
+(** Commit notifications with SCN strictly above the mark, in SCN order —
+    the increment shipped down the replication stream (§3.4). *)
+
+val last_scn : t -> Lsn.t

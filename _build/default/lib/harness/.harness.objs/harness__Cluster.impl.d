@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Aurora_core Az Distribution Layout List Member_id Membership Quorum Rng Sim Simcore Simnet Storage Time_ns Wal

@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Aurora_core Az Member_id Membership Quorum Simcore Simnet Storage

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Availability Cluster Membership Quorum Quorum_set Report Simcore

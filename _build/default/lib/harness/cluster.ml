@@ -1,0 +1,423 @@
+open Simcore
+open Quorum
+module Protocol = Storage.Protocol
+module Pg_id = Storage.Pg_id
+module Database = Aurora_core.Database
+module Replica = Aurora_core.Replica
+module Volume = Aurora_core.Volume
+
+type layout = V6 | Tiered | V3
+
+type config = {
+  seed : int;
+  n_pgs : int;
+  layout : layout;
+  db_config : Database.config;
+  storage_config : Storage.Storage_node.config;
+  intra_az_latency : Distribution.t;
+  inter_az_latency : Distribution.t;
+}
+
+let default_config =
+  {
+    seed = 42;
+    n_pgs = 2;
+    layout = V6;
+    db_config = Database.default_config;
+    storage_config = Storage.Storage_node.default_config;
+    intra_az_latency = Distribution.lognormal ~median:(Time_ns.us 250) ~sigma:0.35;
+    inter_az_latency = Distribution.lognormal ~median:(Time_ns.ms 1) ~sigma:0.35;
+  }
+
+type node_slot = {
+  mutable node : Storage.Storage_node.t;
+  mutable member : Membership.member;
+}
+
+type pg_nodes = {
+  mutable slots : node_slot list; (* current + in-flight replacement nodes *)
+  mutable next_member_id : int;
+}
+
+type t = {
+  cfg : config;
+  sim : Sim.t;
+  rng : Rng.t;
+  net : Protocol.t Simnet.Net.t;
+  s3 : Storage.S3.t;
+  db : Database.t;
+  pg_nodes : pg_nodes Pg_id.Tbl.t;
+  az_of : Az.t Simnet.Addr.Tbl.t;
+  addr_alloc : Simnet.Addr.Allocator.t;
+  mutable replica_list : Replica.t list;
+}
+
+let sim t = t.sim
+let net t = t.net
+let db t = t.db
+let s3 t = t.s3
+let config t = t.cfg
+let rng t = t.rng
+
+let layout_members = function
+  | V6 -> Layout.aurora_v6 ()
+  | Tiered -> Layout.aurora_tiered ()
+  | V3 -> Layout.three_copies ()
+
+let layout_scheme = function
+  | V6 -> Layout.scheme_4_of_6
+  | Tiered -> Layout.scheme_tiered
+  | V3 -> Layout.scheme_2_of_3
+
+let make_storage_node_raw ~sim ~rng ~net ~s3 ~storage_config ~addr_alloc
+    ~az_of ~az =
+  let addr = Simnet.Addr.Allocator.take addr_alloc in
+  Simnet.Addr.Tbl.replace az_of addr az;
+  Storage.Storage_node.create ~sim ~rng:(Rng.split rng) ~net ~addr ~s3
+    ~config:storage_config ()
+
+let make_storage_node t ~az =
+  make_storage_node_raw ~sim:t.sim ~rng:t.rng ~net:t.net ~s3:t.s3
+    ~storage_config:t.cfg.storage_config ~addr_alloc:t.addr_alloc
+    ~az_of:t.az_of ~az
+
+let create cfg =
+  let sim = Sim.create () in
+  let rng = Rng.create cfg.seed in
+  let az_of = Simnet.Addr.Tbl.create 64 in
+  let net =
+    Simnet.Net.create ~sim ~rng:(Rng.split rng)
+      ~default_latency:cfg.inter_az_latency ()
+  in
+  let s3 =
+    Storage.S3.create ~sim
+      ~latency:(Distribution.lognormal ~median:(Time_ns.ms 20) ~sigma:0.4)
+      ~rng:(Rng.split rng)
+  in
+  let addr_alloc = Simnet.Addr.Allocator.create () in
+  (* Writer lives in AZ1 (index 0). *)
+  let db_addr = Simnet.Addr.Allocator.take addr_alloc in
+  Simnet.Addr.Tbl.replace az_of db_addr (Az.of_int 0);
+  (* Latency by AZ distance. *)
+  Simnet.Net.set_latency_fn net (fun a b ->
+      match (Simnet.Addr.Tbl.find_opt az_of a, Simnet.Addr.Tbl.find_opt az_of b) with
+      | Some za, Some zb when Az.equal za zb -> Some cfg.intra_az_latency
+      | _ -> Some cfg.inter_az_latency);
+  let pg_nodes = Pg_id.Tbl.create cfg.n_pgs in
+  (* Build PGs: nodes + segments + membership. *)
+  let scheme = layout_scheme cfg.layout in
+  let volume_groups =
+    List.init cfg.n_pgs (fun i ->
+        let pg_id = Pg_id.of_int i in
+        let members = layout_members cfg.layout in
+        let slots =
+          List.map
+            (fun (m : Membership.member) ->
+              let node =
+                make_storage_node_raw ~sim ~rng ~net ~s3
+                  ~storage_config:cfg.storage_config ~addr_alloc ~az_of
+                  ~az:m.az
+              in
+              let seg =
+                Storage.Segment.create ~pg:pg_id ~seg:m.id ~kind:m.kind
+              in
+              Storage.Storage_node.add_segment node seg;
+              Storage.Storage_node.start node;
+              { node; member = m })
+            members
+        in
+        Pg_id.Tbl.replace pg_nodes pg_id
+          { slots; next_member_id = List.length members };
+        let membership = Membership.create ~scheme members in
+        let addrs =
+          List.map
+            (fun slot ->
+              (slot.member.Membership.id, Storage.Storage_node.addr slot.node))
+            slots
+        in
+        (pg_id, membership, addrs))
+  in
+  let volume = Volume.create volume_groups in
+  let db =
+    Database.create ~sim ~rng:(Rng.split rng) ~net ~addr:db_addr ~volume
+      ~config:cfg.db_config ()
+  in
+  Database.start db;
+  { cfg; sim; rng; net; s3; db; pg_nodes; az_of; addr_alloc; replica_list = [] }
+
+let storage_nodes t =
+  Pg_id.Tbl.fold
+    (fun _ pgn acc -> List.map (fun s -> s.node) pgn.slots @ acc)
+    t.pg_nodes []
+
+let slot_of t pg member =
+  match Pg_id.Tbl.find_opt t.pg_nodes pg with
+  | None -> None
+  | Some pgn ->
+    List.find_opt
+      (fun s -> Member_id.equal s.member.Membership.id member)
+      pgn.slots
+
+let node_of_member t pg member =
+  match slot_of t pg member with Some s -> Some s.node | None -> None
+
+let members_of_pg t pg =
+  match Pg_id.Tbl.find_opt t.pg_nodes pg with
+  | None -> []
+  | Some pgn -> List.map (fun s -> s.member) pgn.slots
+
+let az_of_addr t addr = Simnet.Addr.Tbl.find_opt t.az_of addr
+
+let add_replica t =
+  let addr = Simnet.Addr.Allocator.take t.addr_alloc in
+  (* Replicas live in AZ2 by default: failover survives the writer's AZ. *)
+  Simnet.Addr.Tbl.replace t.az_of addr (Az.of_int 1);
+  let replica =
+    Replica.create ~sim:t.sim ~rng:(Rng.split t.rng) ~net:t.net ~addr
+      ~volume:(Database.volume t.db) ~writer:(Database.addr t.db)
+      ~config:
+        {
+          Replica.default_config with
+          Replica.n_blocks = t.cfg.db_config.Database.n_blocks;
+        }
+      ()
+  in
+  Replica.start replica;
+  Database.attach_replica t.db addr;
+  t.replica_list <- replica :: t.replica_list;
+  replica
+
+let replicas t = t.replica_list
+
+(* ---- faults ---- *)
+
+let crash_storage_node t pg member =
+  match node_of_member t pg member with
+  | Some node -> Storage.Storage_node.crash node
+  | None -> ()
+
+let restart_storage_node t pg member =
+  match node_of_member t pg member with
+  | Some node ->
+    Storage.Storage_node.restart node;
+    Database.broadcast_membership t.db pg
+  | None -> ()
+
+let destroy_storage_node t pg member =
+  match node_of_member t pg member with
+  | Some node -> Storage.Storage_node.destroy node
+  | None -> ()
+
+let fail_az t az =
+  Pg_id.Tbl.iter
+    (fun _ pgn ->
+      List.iter
+        (fun s ->
+          if Az.equal s.member.Membership.az az then
+            Storage.Storage_node.crash s.node)
+        pgn.slots)
+    t.pg_nodes
+
+let restore_az t az =
+  Pg_id.Tbl.iter
+    (fun pg pgn ->
+      List.iter
+        (fun s ->
+          if Az.equal s.member.Membership.az az then begin
+            Storage.Storage_node.restart s.node;
+            Database.broadcast_membership t.db pg
+          end)
+        pgn.slots)
+    t.pg_nodes
+
+let slow_storage_node t pg member factor =
+  match node_of_member t pg member with
+  | Some node ->
+    Simnet.Net.set_node_slowdown t.net (Storage.Storage_node.addr node) factor
+  | None -> ()
+
+(* ---- membership changes (Figure 5 flow) ---- *)
+
+let start_replacement t pg ~suspect =
+  match (Pg_id.Tbl.find_opt t.pg_nodes pg, slot_of t pg suspect) with
+  | None, _ | _, None -> Error "unknown protection group or member"
+  | Some pgn, Some suspect_slot ->
+    let m_id = Member_id.of_int pgn.next_member_id in
+    let replacement =
+      {
+        Membership.id = m_id;
+        az = suspect_slot.member.Membership.az;
+        kind = suspect_slot.member.Membership.kind;
+      }
+    in
+    let node = make_storage_node t ~az:replacement.Membership.az in
+    let seg =
+      Storage.Segment.create ~pg ~seg:m_id ~kind:replacement.Membership.kind
+    in
+    Storage.Storage_node.add_segment node seg;
+    Storage.Storage_node.start node;
+    (match
+       Database.begin_segment_replacement t.db pg ~suspect ~replacement
+         ~replacement_addr:(Storage.Storage_node.addr node)
+     with
+    | Error e -> Error e
+    | Ok () ->
+      pgn.next_member_id <- pgn.next_member_id + 1;
+      pgn.slots <- pgn.slots @ [ { node; member = replacement } ];
+      (* Bulk hydration from a healthy peer of the same (or full) kind,
+         re-requested incrementally until the newcomer has caught up with
+         the group's durable point — gossip alone only patches small holes
+         and cannot outrun a hot write stream. *)
+      let donor () =
+        List.find_opt
+          (fun s ->
+            (not (Member_id.equal s.member.Membership.id suspect))
+            && (not (Member_id.equal s.member.Membership.id m_id))
+            && Storage.Storage_node.is_alive s.node
+            && (replacement.Membership.kind = Membership.Tail
+               || s.member.Membership.kind = Membership.Full))
+          pgn.slots
+      in
+      let rec hydrate_until_caught_up () =
+        if Storage.Storage_node.is_alive node then begin
+          (match donor () with
+          | Some d ->
+            Storage.Storage_node.request_hydration node ~pg
+              ~from:(Storage.Storage_node.addr d.node)
+          | None -> ());
+          let target = Aurora_core.Consistency.pgcl (Database.consistency t.db) pg in
+          let scl =
+            match Storage.Storage_node.segment node pg with
+            | Some seg -> Storage.Segment.scl seg
+            | None -> Wal.Lsn.none
+          in
+          if Wal.Lsn.(scl < target) then
+            ignore
+              (Sim.schedule t.sim ~delay:(Time_ns.ms 50) hydrate_until_caught_up)
+        end
+      in
+      hydrate_until_caught_up ();
+      Ok m_id)
+
+let finish_replacement t pg ~suspect =
+  match Pg_id.Tbl.find_opt t.pg_nodes pg with
+  | None -> Error "unknown protection group"
+  | Some pgn -> (
+    match Database.commit_segment_replacement t.db pg ~suspect with
+    | Error e -> Error e
+    | Ok () ->
+      pgn.slots <-
+        List.filter
+          (fun s -> not (Member_id.equal s.member.Membership.id suspect))
+          pgn.slots;
+      Ok ())
+
+let revert_replacement t pg ~suspect =
+  match Pg_id.Tbl.find_opt t.pg_nodes pg with
+  | None -> Error "unknown protection group"
+  | Some pgn ->
+    let g = Volume.find_pg (Database.volume t.db) pg in
+    let replacement_of_suspect =
+      List.find_opt
+        (fun (p : Membership.pending) -> Member_id.equal p.suspect suspect)
+        (Membership.pendings g.Volume.membership)
+    in
+    (match Database.revert_segment_replacement t.db pg ~suspect with
+    | Error e -> Error e
+    | Ok () ->
+      (match replacement_of_suspect with
+      | Some pair ->
+        pgn.slots <-
+          List.filter
+            (fun s ->
+              if Member_id.equal s.member.Membership.id pair.replacement then begin
+                Storage.Storage_node.destroy s.node;
+                false
+              end
+              else true)
+            pgn.slots
+      | None -> ());
+      Ok ())
+
+let replacement_caught_up t pg ~replacement =
+  match node_of_member t pg replacement with
+  | None -> false
+  | Some node -> (
+    match Storage.Storage_node.segment node pg with
+    | None -> false
+    | Some seg ->
+      let target = Aurora_core.Consistency.pgcl (Database.consistency t.db) pg in
+      Wal.Lsn.(Storage.Segment.scl seg >= target))
+
+let grow_volume t =
+  let members = layout_members t.cfg.layout in
+  let slots =
+    List.map
+      (fun (m : Membership.member) ->
+        let node = make_storage_node t ~az:m.az in
+        (m, node))
+      members
+  in
+  let membership = Membership.create ~scheme:(layout_scheme t.cfg.layout) members in
+  let addrs =
+    List.map (fun (m, node) -> (m.Membership.id, Storage.Storage_node.addr node)) slots
+  in
+  let g =
+    Volume.grow (Database.volume t.db)
+      ~new_blocks_from:
+        (Wal.Block_id.of_int t.cfg.db_config.Database.n_blocks)
+      membership addrs
+  in
+  let pg_id = g.Volume.id in
+  List.iter
+    (fun ((m : Membership.member), node) ->
+      Storage.Storage_node.add_segment node
+        (Storage.Segment.create ~pg:pg_id ~seg:m.Membership.id ~kind:m.Membership.kind);
+      Storage.Storage_node.start node)
+    slots;
+  Pg_id.Tbl.replace t.pg_nodes pg_id
+    {
+      slots = List.map (fun (m, node) -> { node; member = m }) slots;
+      next_member_id = List.length members;
+    };
+  Aurora_core.Consistency.register_pg (Database.consistency t.db) pg_id
+    ~write_quorum:(Volume.rule g).Quorum.Quorum_set.Rule.write;
+  Database.broadcast_membership t.db pg_id;
+  pg_id
+
+let change_scheme_3_of_4 t pg ~drop_az =
+  match Pg_id.Tbl.find_opt t.pg_nodes pg with
+  | None -> Error "unknown protection group"
+  | Some pgn -> (
+    let survivors =
+      List.filter
+        (fun s -> not (Az.equal s.member.Membership.az drop_az))
+        pgn.slots
+    in
+    if List.length survivors <> 4 then
+      Error "expected exactly four members outside the lost AZ"
+    else begin
+      let g = Volume.find_pg (Database.volume t.db) pg in
+      match
+        Membership.change_scheme g.Volume.membership
+          ~scheme:Layout.scheme_3_of_4
+          (List.map (fun s -> s.member) survivors)
+      with
+      | Error _ as e -> e
+      | Ok m ->
+        g.Volume.membership <- m;
+        g.Volume.addr_of <-
+          List.fold_left
+            (fun acc s ->
+              Member_id.Map.add s.member.Membership.id
+                (Storage.Storage_node.addr s.node) acc)
+            Member_id.Map.empty survivors;
+        pgn.slots <- survivors;
+        Aurora_core.Consistency.set_write_quorum (Database.consistency t.db) pg
+          (Volume.rule g).Quorum.Quorum_set.Rule.write;
+        Database.broadcast_membership t.db pg;
+        Ok ()
+    end)
+
+let run_for t span = Sim.run_until t.sim (Time_ns.add (Sim.now t.sim) span)
+let run_until_quiesced t = Sim.run t.sim

@@ -1,0 +1,58 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;
+  mutable notes : string list;
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+let row t cells = t.rows <- cells :: t.rows
+let note t s = t.notes <- s :: t.notes
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let width i =
+    List.fold_left
+      (fun acc r ->
+        match List.nth_opt r i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           cell ^ String.make (max 0 (w - String.length cell)) ' ')
+         r)
+  in
+  let sep =
+    String.concat "  "
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  List.iter
+    (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+let f2 x = Printf.sprintf "%.2f" x
+let f4 x = Printf.sprintf "%.4f" x
+let pct x = Printf.sprintf "%.4f%%" (100. *. x)
+
+let ns x =
+  if x < 1e3 then Printf.sprintf "%.0fns" x
+  else if x < 1e6 then Printf.sprintf "%.1fus" (x /. 1e3)
+  else if x < 1e9 then Printf.sprintf "%.2fms" (x /. 1e6)
+  else Printf.sprintf "%.3fs" (x /. 1e9)
+
+let time t = Simcore.Time_ns.to_string t

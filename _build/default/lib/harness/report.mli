@@ -1,0 +1,23 @@
+(** Fixed-width table rendering for experiment output. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val row : t -> string list -> unit
+val note : t -> string -> unit
+(** Free-form line appended under the table. *)
+
+val to_string : t -> string
+val print : t -> unit
+
+val f2 : float -> string
+(** Two-decimal float. *)
+
+val f4 : float -> string
+val pct : float -> string
+(** Fraction rendered as a percentage. *)
+
+val ns : float -> string
+(** Nanosecond quantity with adaptive unit. *)
+
+val time : Simcore.Time_ns.t -> string

@@ -1,0 +1,1 @@
+lib/quorum/az.ml: Format Int Map Set

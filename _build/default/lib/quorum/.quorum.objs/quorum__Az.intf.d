@@ -1,0 +1,1 @@
+lib/quorum/az.mli: Format Map Set

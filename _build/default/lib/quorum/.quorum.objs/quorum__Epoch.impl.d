@@ -1,0 +1,1 @@
+lib/quorum/epoch.ml: Format Int

@@ -1,0 +1,1 @@
+lib/quorum/epoch.mli: Format

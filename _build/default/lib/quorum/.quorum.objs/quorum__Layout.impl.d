@@ -1,0 +1,1 @@
+lib/quorum/layout.ml: Az List Member_id Membership

@@ -1,0 +1,1 @@
+lib/quorum/layout.mli: Az Member_id Membership

@@ -1,0 +1,1 @@
+lib/quorum/member_id.ml: Char Format Hashtbl Int List Map Printf Set String

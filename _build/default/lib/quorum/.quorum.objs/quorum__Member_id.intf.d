@@ -1,0 +1,1 @@
+lib/quorum/member_id.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/quorum/membership.ml: Az Epoch Format List Member_id Quorum_set String

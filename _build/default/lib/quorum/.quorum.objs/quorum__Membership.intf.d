@@ -1,0 +1,1 @@
+lib/quorum/membership.mli: Az Epoch Format Member_id Quorum_set

@@ -1,0 +1,1 @@
+lib/quorum/quorum_set.ml: Array Format List Member_id

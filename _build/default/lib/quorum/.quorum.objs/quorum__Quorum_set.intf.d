@@ -1,0 +1,1 @@
+lib/quorum/quorum_set.mli: Format Member_id

@@ -1,0 +1,10 @@
+type t = int
+
+let of_int i = if i < 0 then invalid_arg "Az.of_int: negative" else i
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt t = Format.fprintf fmt "AZ%d" (t + 1)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,20 @@
+(** Availability Zones.
+
+    An AZ is the largest unit of correlated failure the system must tolerate
+    (§1): a fault domain whose members fail together under power, network, or
+    deployment events.  Aurora places two segments of each protection group
+    in each of three AZs. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Zero-based AZ index.  @raise Invalid_argument on negatives. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Renders as "AZ1", "AZ2", ... (1-based, matching the paper's figures). *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,33 @@
+(** Epochs: monotonically increasing fencing tokens (§2.4, §4.1).
+
+    Aurora uses three flavours — volume epochs (crash-recovery fencing of old
+    writer instances), membership epochs (one per protection-group membership
+    change), and volume-geometry epochs (volume growth / quorum-model
+    change).  All share the same semantics: every request carries the
+    client's current epoch; servers reject requests at stale epochs; an epoch
+    increment is itself just a quorum write.  "Rather than waiting for a
+    lease to expire, Aurora just changes the locks on the door." *)
+
+type t = private int
+
+val initial : t
+(** Epoch 1. *)
+
+val of_int : int -> t
+(** @raise Invalid_argument unless positive. *)
+
+val to_int : t -> int
+val next : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_stale : t -> current:t -> bool
+(** [is_stale e ~current] — [e] is older than [current] and must be
+    rejected. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Outcome of validating a request's epoch against the server's. *)
+type check = Ok | Stale of { current : t }
+
+val check : t -> current:t -> check

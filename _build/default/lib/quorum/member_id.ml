@@ -1,0 +1,29 @@
+type t = int
+
+let of_int i = if i < 0 then invalid_arg "Member_id.of_int: negative" else i
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+
+let to_string t =
+  if t < 26 then String.make 1 (Char.chr (Char.code 'A' + t))
+  else Printf.sprintf "M%d" t
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash t = t
+end)
+
+let set_of_list l = Set.of_list (l :> int list)
+
+let pp_set fmt s =
+  Format.pp_print_string fmt
+    (String.concat "" (List.map to_string (Set.elements s)))

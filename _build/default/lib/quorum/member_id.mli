@@ -1,0 +1,22 @@
+(** Quorum member identifiers.
+
+    A member of a protection-group quorum is a segment replica hosted on some
+    storage node.  Small ids render as the paper's letters (A–F, G, H...) so
+    traces of membership changes read like Figure 5. *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

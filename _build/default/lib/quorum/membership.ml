@@ -1,0 +1,168 @@
+type segment_kind = Full | Tail
+
+type member = { id : Member_id.t; az : Az.t; kind : segment_kind }
+
+type scheme =
+  | Plain of { write_threshold : int; read_threshold : int }
+  | Tiered of { mixed_write : int; mixed_read : int }
+
+type pending = { suspect : Member_id.t; replacement : Member_id.t }
+
+type t = {
+  epoch : Epoch.t;
+  roster : member Member_id.Map.t; (* every involved member, incl. pending *)
+  base : Member_id.Set.t; (* members not part of any pending pair *)
+  pendings : pending list;
+  scheme : scheme;
+}
+
+let epoch t = t.epoch
+let scheme t = t.scheme
+let pendings t = t.pendings
+let members t = List.map snd (Member_id.Map.bindings t.roster)
+let member_ids t = Member_id.Map.fold (fun id _ s -> Member_id.Set.add id s) t.roster Member_id.Set.empty
+let find_member t id = Member_id.Map.find_opt id t.roster
+let is_steady t = t.pendings = []
+
+(* All candidate final member sets: the base plus one choice (suspect or
+   replacement) per pending pair — 2^|pendings| variants. *)
+let variants t =
+  List.fold_left
+    (fun acc { suspect; replacement } ->
+      List.concat_map
+        (fun set ->
+          [ Member_id.Set.add suspect set; Member_id.Set.add replacement set ])
+        acc)
+    [ t.base ] t.pendings
+
+let atom_for t ~read set =
+  let members_list = Member_id.Set.elements set in
+  match t.scheme with
+  | Plain { write_threshold; read_threshold } ->
+    Quorum_set.k_of (if read then read_threshold else write_threshold) members_list
+  | Tiered { mixed_write; mixed_read } ->
+    let fulls =
+      List.filter
+        (fun id ->
+          match Member_id.Map.find_opt id t.roster with
+          | Some m -> m.kind = Full
+          | None -> false)
+        members_list
+    in
+    if read then
+      (* 3/6 of any segment AND 1/3 of full segments *)
+      Quorum_set.all
+        [ Quorum_set.k_of mixed_read members_list; Quorum_set.k_of 1 fulls ]
+    else
+      (* 4/6 of any segment OR 3/3 of full segments *)
+      Quorum_set.any
+        [
+          Quorum_set.k_of mixed_write members_list;
+          Quorum_set.k_of (List.length fulls) fulls;
+        ]
+
+let rule t =
+  let vs = variants t in
+  let write = Quorum_set.all (List.map (fun v -> atom_for t ~read:false v) vs) in
+  let read = Quorum_set.any (List.map (fun v -> atom_for t ~read:true v) vs) in
+  Quorum_set.Rule.make_exn ~read ~write
+
+let validate t =
+  match rule t with
+  | (_ : Quorum_set.Rule.t) -> Ok t
+  | exception Invalid_argument msg -> Error msg
+
+let create ~scheme member_list =
+  let roster =
+    List.fold_left
+      (fun acc m ->
+        if Member_id.Map.mem m.id acc then
+          invalid_arg "Membership.create: duplicate member id"
+        else Member_id.Map.add m.id m acc)
+      Member_id.Map.empty member_list
+  in
+  let base =
+    Member_id.Map.fold (fun id _ s -> Member_id.Set.add id s) roster
+      Member_id.Set.empty
+  in
+  let t = { epoch = Epoch.initial; roster; base; pendings = []; scheme } in
+  (* Force rule construction so an unsafe scheme fails fast. *)
+  ignore (rule t);
+  t
+
+let begin_change t ~suspect ~replacement =
+  match Member_id.Map.find_opt suspect t.roster with
+  | None -> Error "suspect is not a member of this group"
+  | Some suspect_member ->
+    if List.exists (fun p -> Member_id.equal p.suspect suspect) t.pendings
+    then Error "suspect is already under replacement"
+    else if
+      List.exists
+        (fun p -> Member_id.equal p.replacement suspect)
+        t.pendings
+    then Error "cannot replace an in-flight replacement"
+    else if Member_id.Map.mem replacement.id t.roster then
+      Error "replacement id already in use"
+    else if replacement.kind <> suspect_member.kind then
+      Error "replacement kind must match the suspect's (full vs tail)"
+    else begin
+      let t' =
+        {
+          t with
+          epoch = Epoch.next t.epoch;
+          roster = Member_id.Map.add replacement.id replacement t.roster;
+          base = Member_id.Set.remove suspect t.base;
+          pendings = t.pendings @ [ { suspect; replacement = replacement.id } ];
+        }
+      in
+      validate t'
+    end
+
+let resolve t ~suspect ~keep_replacement =
+  match
+    List.find_opt (fun p -> Member_id.equal p.suspect suspect) t.pendings
+  with
+  | None -> Error "no pending change for this suspect"
+  | Some pair ->
+    let keep, drop =
+      if keep_replacement then (pair.replacement, pair.suspect)
+      else (pair.suspect, pair.replacement)
+    in
+    let t' =
+      {
+        t with
+        epoch = Epoch.next t.epoch;
+        roster = Member_id.Map.remove drop t.roster;
+        base = Member_id.Set.add keep t.base;
+        pendings =
+          List.filter
+            (fun p -> not (Member_id.equal p.suspect suspect))
+            t.pendings;
+      }
+    in
+    validate t'
+
+let commit_change t ~suspect = resolve t ~suspect ~keep_replacement:true
+let revert_change t ~suspect = resolve t ~suspect ~keep_replacement:false
+
+let change_scheme t ~scheme member_list =
+  if not (is_steady t) then
+    Error "cannot change scheme while a membership change is pending"
+  else begin
+    let fresh = create ~scheme member_list in
+    Ok { fresh with epoch = Epoch.next t.epoch }
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "epoch %a, members %a%s" Epoch.pp t.epoch Member_id.pp_set
+    (member_ids t)
+    (match t.pendings with
+    | [] -> ""
+    | ps ->
+      " pending:"
+      ^ String.concat ","
+          (List.map
+             (fun p ->
+               Format.asprintf " %a->%a" Member_id.pp p.suspect Member_id.pp
+                 p.replacement)
+             ps))

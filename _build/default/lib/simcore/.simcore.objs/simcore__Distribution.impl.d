@@ -1,0 +1,1 @@
+lib/simcore/distribution.ml: Array List Rng Time_ns

@@ -1,0 +1,1 @@
+lib/simcore/distribution.mli: Rng Time_ns

@@ -1,0 +1,1 @@
+lib/simcore/histogram.ml: Array Bits Float Format Time_ns

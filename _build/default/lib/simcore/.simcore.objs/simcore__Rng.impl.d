@@ -1,0 +1,1 @@
+lib/simcore/rng.ml: Array Float Int64 List

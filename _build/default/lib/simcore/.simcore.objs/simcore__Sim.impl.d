@@ -1,0 +1,1 @@
+lib/simcore/sim.ml: Hashtbl Heap Int Time_ns

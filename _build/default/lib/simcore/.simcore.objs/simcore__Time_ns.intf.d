@@ -1,0 +1,1 @@
+lib/simcore/time_ns.mli: Format

@@ -1,0 +1,1 @@
+lib/simcore/trace.ml: Array Format List Time_ns

@@ -1,0 +1,6 @@
+let highest_bit v =
+  if v <= 0 then invalid_arg "Bits.highest_bit: non-positive";
+  let rec loop v n = if v = 1 then n else loop (v lsr 1) (n + 1) in
+  loop v 0
+
+let clz v = 62 - highest_bit v

@@ -1,0 +1,10 @@
+(** Small bit-twiddling helpers shared by histogram bucketing. *)
+
+val clz : int -> int
+(** Count of leading zero bits of a positive 63-bit OCaml int, counting from
+    bit 62 (the sign bit is excluded).  [clz 1 = 62].
+    @raise Invalid_argument on non-positive input. *)
+
+val highest_bit : int -> int
+(** [highest_bit v] is the position of the most significant set bit
+    ([highest_bit 1 = 0]). *)

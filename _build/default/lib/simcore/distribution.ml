@@ -1,0 +1,70 @@
+type t =
+  | Constant of Time_ns.t
+  | Uniform of Time_ns.t * Time_ns.t
+  | Exponential of float
+  | Lognormal of float * float (* mu, sigma in log-space of nanoseconds *)
+  | Pareto of float * float
+  | Shifted of Time_ns.t * t
+  | Mixture of (float * t) array * float (* entries, total weight *)
+  | Scaled of float * t
+
+let constant d = Constant d
+
+let uniform ~lo ~hi =
+  if hi < lo then invalid_arg "Distribution.uniform: hi < lo";
+  Uniform (lo, hi)
+
+let exponential ~mean =
+  if mean <= 0 then invalid_arg "Distribution.exponential: mean <= 0";
+  Exponential (float_of_int mean)
+
+let lognormal ~median ~sigma =
+  if median <= 0 then invalid_arg "Distribution.lognormal: median <= 0";
+  Lognormal (log (float_of_int median), sigma)
+
+let pareto ~scale ~shape =
+  if scale <= 0 then invalid_arg "Distribution.pareto: scale <= 0";
+  Pareto (float_of_int scale, shape)
+
+let shifted base d = Shifted (base, d)
+
+let mixture entries =
+  if entries = [] then invalid_arg "Distribution.mixture: empty";
+  List.iter
+    (fun (w, _) ->
+      if w <= 0. then invalid_arg "Distribution.mixture: non-positive weight")
+    entries;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. entries in
+  Mixture (Array.of_list entries, total)
+
+let scaled factor d =
+  if factor < 0. then invalid_arg "Distribution.scaled: negative factor";
+  Scaled (factor, d)
+
+let rec sample t rng =
+  let v =
+    match t with
+    | Constant d -> d
+    | Uniform (lo, hi) -> Rng.int_in rng lo hi
+    | Exponential mean -> int_of_float (Rng.exponential rng ~mean)
+    | Lognormal (mu, sigma) -> int_of_float (Rng.lognormal rng ~mu ~sigma)
+    | Pareto (scale, shape) -> int_of_float (Rng.pareto rng ~scale ~shape)
+    | Shifted (base, d) -> Time_ns.add base (sample d rng)
+    | Mixture (entries, total) ->
+      let x = Rng.float rng total in
+      let rec pick i acc =
+        let w, d = entries.(i) in
+        if i = Array.length entries - 1 || x < acc +. w then d
+        else pick (i + 1) (acc +. w)
+      in
+      sample (pick 0 0.) rng
+    | Scaled (f, d) -> int_of_float (f *. float_of_int (sample d rng))
+  in
+  if v < 0 then 0 else v
+
+let mean_estimate t rng n =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. float_of_int (sample t rng)
+  done;
+  !acc /. float_of_int n

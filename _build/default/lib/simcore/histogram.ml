@@ -1,0 +1,119 @@
+(* Buckets: values < 2^sub_bits are recorded exactly (one bucket per value).
+   Above that, each octave [2^k, 2^(k+1)) splits into 2^sub_bits linear
+   sub-buckets, bounding relative error by 2^-sub_bits. *)
+
+let sub_bits = 4
+let sub_count = 1 lsl sub_bits (* 16 *)
+let octaves = 62 - sub_bits
+
+type t = {
+  buckets : int array;
+  mutable n : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  mutable sum : float;
+  mutable sumsq : float;
+}
+
+let n_buckets = sub_count * (octaves + 1)
+
+let create () =
+  {
+    buckets = Array.make n_buckets 0;
+    n = 0;
+    vmin = max_int;
+    vmax = 0;
+    sum = 0.;
+    sumsq = 0.;
+  }
+
+(* Index of the bucket holding [v]. *)
+let index_of v =
+  if v < sub_count then v
+  else begin
+    (* Highest set bit position. *)
+    let k = 62 - Bits.clz v in
+    let sub = (v lsr (k - sub_bits)) land (sub_count - 1) in
+    ((k - sub_bits + 1) * sub_count) + sub
+  end
+
+(* Upper edge (inclusive representative) of bucket [i]. *)
+let value_of i =
+  if i < sub_count then i
+  else begin
+    let oct = (i / sub_count) - 1 in
+    let sub = i mod sub_count in
+    let base = 1 lsl (oct + sub_bits) in
+    let width = 1 lsl oct in
+    base + ((sub + 1) * width) - 1
+  end
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.n <- t.n + 1;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  let fv = float_of_int v in
+  t.sum <- t.sum +. fv;
+  t.sumsq <- t.sumsq +. (fv *. fv)
+
+let record_span t start stop = record t (Time_ns.diff stop start)
+
+let merge a b =
+  let t = create () in
+  Array.iteri (fun i c -> t.buckets.(i) <- c) a.buckets;
+  Array.iteri (fun i c -> t.buckets.(i) <- t.buckets.(i) + c) b.buckets;
+  t.n <- a.n + b.n;
+  t.vmin <- min a.vmin b.vmin;
+  t.vmax <- max a.vmax b.vmax;
+  t.sum <- a.sum +. b.sum;
+  t.sumsq <- a.sumsq +. b.sumsq;
+  t
+
+let count t = t.n
+let min_value t = if t.n = 0 then 0 else t.vmin
+let max_value t = t.vmax
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+let total t = t.sum
+
+let stddev t =
+  if t.n = 0 then 0.
+  else begin
+    let m = mean t in
+    let var = (t.sumsq /. float_of_int t.n) -. (m *. m) in
+    if var < 0. then 0. else sqrt var
+  end
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let target = int_of_float (ceil (p /. 100. *. float_of_int t.n)) in
+    let target = if target < 1 then 1 else target in
+    let rec scan i acc =
+      if i >= n_buckets then t.vmax
+      else begin
+        let acc = acc + t.buckets.(i) in
+        if acc >= target then min (value_of i) t.vmax else scan (i + 1) acc
+      end
+    in
+    scan 0 0
+  end
+
+let median t = percentile t 50.
+
+let pp_summary fmt t =
+  Format.fprintf fmt "n=%d mean=%a p50=%a p99=%a p999=%a max=%a" t.n Time_ns.pp
+    (int_of_float (mean t))
+    Time_ns.pp (percentile t 50.) Time_ns.pp (percentile t 99.) Time_ns.pp
+    (percentile t 99.9) Time_ns.pp (max_value t)
+
+let summary_row t ~label =
+  Format.asprintf "%-28s %10d %12s %12s %12s %12s %12s" label t.n
+    (Time_ns.to_string (int_of_float (mean t)))
+    (Time_ns.to_string (percentile t 50.))
+    (Time_ns.to_string (percentile t 99.))
+    (Time_ns.to_string (percentile t 99.9))
+    (Time_ns.to_string (max_value t))

@@ -1,0 +1,45 @@
+(** Log-bucketed latency histogram (HDR-style).
+
+    Records non-negative integer values (nanoseconds in practice) into
+    buckets whose width grows geometrically, giving a bounded relative
+    quantile error (~3% with the default 16 sub-buckets per octave) at O(1)
+    record cost and a few KB of memory regardless of sample count.  This is
+    the metric sink for every latency measurement in the repository. *)
+
+type t
+
+val create : unit -> t
+(** Default precision: 16 linear sub-buckets per power of two. *)
+
+val record : t -> int -> unit
+(** Record one value; negative values clamp to 0. *)
+
+val record_span : t -> Time_ns.t -> Time_ns.t -> unit
+(** [record_span h start stop] records [stop - start]. *)
+
+val merge : t -> t -> t
+(** New histogram holding both inputs' samples. *)
+
+val count : t -> int
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+val mean : t -> float
+val stddev : t -> float
+val total : t -> float
+(** Sum of recorded values. *)
+
+val percentile : t -> float -> int
+(** [percentile h p] for [p] in [\[0, 100\]].  Returns the upper edge of the
+    bucket containing the p-th percentile sample; 0 when empty. *)
+
+val median : t -> int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line "n=... mean=... p50=... p99=... max=..." rendering with
+    adaptive time units. *)
+
+val summary_row :
+  t -> label:string -> string
+(** Fixed-width table row used by the experiment harness. *)

@@ -1,0 +1,78 @@
+type event_id = int
+
+type event = {
+  at : Time_ns.t;
+  seq : int;
+  id : event_id;
+  action : unit -> unit;
+}
+
+type t = {
+  mutable clock : Time_ns.t;
+  queue : event Heap.t;
+  cancelled : (event_id, unit) Hashtbl.t;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let compare_event a b =
+  let c = Time_ns.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  {
+    clock = Time_ns.zero;
+    queue = Heap.create ~cmp:compare_event;
+    cancelled = Hashtbl.create 64;
+    next_seq = 0;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~at action =
+  let at = Time_ns.max at t.clock in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let id = seq in
+  Heap.push t.queue { at; seq; id; action };
+  id
+
+let schedule t ~delay action =
+  schedule_at t ~at:(Time_ns.add t.clock (Time_ns.max delay 0)) action
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let rec every t ~interval f =
+  ignore
+    (schedule t ~delay:interval (fun () -> if f () then every t ~interval f))
+
+let exec t ev =
+  if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
+  else begin
+    t.clock <- ev.at;
+    t.executed <- t.executed + 1;
+    ev.action ()
+  end
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    exec t ev;
+    true
+
+let run t = while step t do () done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | Some ev when Time_ns.compare ev.at limit <= 0 ->
+      (match Heap.pop t.queue with Some e -> exec t e | None -> ())
+    | _ -> continue := false
+  done;
+  if Time_ns.compare t.clock limit < 0 then t.clock <- limit
+
+let pending t = Heap.length t.queue - Hashtbl.length t.cancelled
+let processed t = t.executed

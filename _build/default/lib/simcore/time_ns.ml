@@ -1,0 +1,32 @@
+type t = int
+
+let zero = 0
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+let minutes x = sec (60 * x)
+let hours x = minutes (60 * x)
+
+let of_float_us x =
+  if x <= 0. then 0 else int_of_float ((x *. 1_000.) +. 0.5)
+
+let to_float_us t = float_of_int t /. 1_000.
+let to_float_ms t = float_of_int t /. 1_000_000.
+let to_float_s t = float_of_int t /. 1_000_000_000.
+
+let add = ( + )
+let sub = ( - )
+let diff later earlier = later - earlier
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Int.compare
+let equal = Int.equal
+
+let pp fmt t =
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (to_float_us t)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2fms" (to_float_ms t)
+  else Format.fprintf fmt "%.3fs" (to_float_s t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,46 @@
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  buf : (Time_ns.t * string) option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity";
+  { capacity; enabled = false; buf = Array.make capacity None; next = 0; count = 0 }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let record t ~at msg =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some (at, msg);
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let recordf t ~at fmt =
+  Format.kasprintf
+    (fun msg -> if t.enabled then record t ~at msg)
+    fmt
+
+let events t =
+  let start = (t.next - t.count + t.capacity) mod t.capacity in
+  List.init t.count (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let length t = t.count
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let dump t fmt =
+  List.iter
+    (fun (at, msg) -> Format.fprintf fmt "[%a] %s@." Time_ns.pp at msg)
+    (events t)

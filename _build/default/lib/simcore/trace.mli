@@ -1,0 +1,32 @@
+(** Lightweight bounded event tracing for debugging simulations.
+
+    A ring buffer of timestamped, labelled events.  Components log
+    milestones ("segment 3 SCL -> 105") cheaply; tests and the CLI can dump
+    the tail when something looks wrong.  Disabled traces cost one branch
+    per call. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of [capacity] entries (default 4096). *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val record : t -> at:Time_ns.t -> string -> unit
+(** No-op when disabled; otherwise stores (at, message), evicting the
+    oldest entry when full. *)
+
+val recordf :
+  t -> at:Time_ns.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is only built when enabled. *)
+
+val events : t -> (Time_ns.t * string) list
+(** Oldest first. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val dump : t -> Format.formatter -> unit
+(** Render one event per line with timestamps. *)

@@ -1,0 +1,1 @@
+lib/simnet/net.ml: Addr Distribution Float Hashtbl Rng Sim Simcore Time_ns

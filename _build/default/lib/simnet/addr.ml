@@ -1,0 +1,29 @@
+type t = int
+
+let of_int i = if i < 0 then invalid_arg "Addr.of_int: negative" else i
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp fmt t = Format.fprintf fmt "n%d" t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash t = t
+end)
+
+module Allocator = struct
+  type nonrec t = { mutable next : int }
+
+  let create () = { next = 0 }
+
+  let take t =
+    let a = t.next in
+    t.next <- a + 1;
+    a
+end

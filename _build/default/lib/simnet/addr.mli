@@ -1,0 +1,24 @@
+(** Network addresses of simulated processes (database instances, storage
+    nodes, protocol participants). *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t
+
+(** Sequential address allocator for cluster assembly. *)
+module Allocator : sig
+  type addr := t
+  type t
+
+  val create : unit -> t
+  val take : t -> addr
+end

@@ -1,0 +1,137 @@
+open Simcore
+
+type 'msg envelope = {
+  src : Addr.t;
+  dst : Addr.t;
+  sent_at : Time_ns.t;
+  bytes : int;
+  msg : 'msg;
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+}
+
+type 'msg t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  default_latency : Distribution.t;
+  handlers : ('msg envelope -> unit) Addr.Tbl.t;
+  link_latency : (int * int, Distribution.t) Hashtbl.t;
+  mutable latency_fn : Addr.t -> Addr.t -> Distribution.t option;
+  link_drop : (int * int, float) Hashtbl.t;
+  mutable global_drop : float;
+  slowdown : float Addr.Tbl.t;
+  down : unit Addr.Tbl.t;
+  blocked : (int * int, unit) Hashtbl.t;
+  mutable st : stats;
+}
+
+let zero_stats =
+  { sent = 0; delivered = 0; dropped = 0; bytes_sent = 0; bytes_delivered = 0 }
+
+let create ~sim ~rng ~default_latency () =
+  {
+    sim;
+    rng;
+    default_latency;
+    handlers = Addr.Tbl.create 64;
+    link_latency = Hashtbl.create 64;
+    latency_fn = (fun _ _ -> None);
+    link_drop = Hashtbl.create 16;
+    global_drop = 0.;
+    slowdown = Addr.Tbl.create 16;
+    down = Addr.Tbl.create 16;
+    blocked = Hashtbl.create 16;
+    st = zero_stats;
+  }
+
+let sim t = t.sim
+let key a b = (Addr.to_int a, Addr.to_int b)
+let register t addr handler = Addr.Tbl.replace t.handlers addr handler
+let unregister t addr = Addr.Tbl.remove t.handlers addr
+
+let set_link_latency t ~src ~dst dist =
+  Hashtbl.replace t.link_latency (key src dst) dist
+
+let set_latency_fn t f = t.latency_fn <- f
+let set_drop_probability t p = t.global_drop <- p
+let set_link_drop t ~src ~dst p = Hashtbl.replace t.link_drop (key src dst) p
+
+let set_node_slowdown t addr factor =
+  if factor <= 0. then invalid_arg "Net.set_node_slowdown: non-positive";
+  Addr.Tbl.replace t.slowdown addr factor
+
+let set_down t addr = Addr.Tbl.replace t.down addr ()
+let set_up t addr = Addr.Tbl.remove t.down addr
+let is_down t addr = Addr.Tbl.mem t.down addr
+let block t a b =
+  Hashtbl.replace t.blocked (key a b) ();
+  Hashtbl.replace t.blocked (key b a) ()
+
+let unblock t a b =
+  Hashtbl.remove t.blocked (key a b);
+  Hashtbl.remove t.blocked (key b a)
+
+let partition t sa sb =
+  Addr.Set.iter (fun a -> Addr.Set.iter (fun b -> block t a b) sb) sa
+
+let heal_partition t sa sb =
+  Addr.Set.iter (fun a -> Addr.Set.iter (fun b -> unblock t a b) sb) sa
+
+let is_blocked t a b = Hashtbl.mem t.blocked (key a b)
+
+let latency_for t ~src ~dst =
+  match Hashtbl.find_opt t.link_latency (key src dst) with
+  | Some d -> d
+  | None -> (
+    match t.latency_fn src dst with
+    | Some d -> d
+    | None -> t.default_latency)
+
+let drop_probability t ~src ~dst =
+  match Hashtbl.find_opt t.link_drop (key src dst) with
+  | Some p -> Float.max p t.global_drop
+  | None -> t.global_drop
+
+let slow_factor t addr =
+  match Addr.Tbl.find_opt t.slowdown addr with Some f -> f | None -> 1.0
+
+let stats t = t.st
+let reset_stats t = t.st <- zero_stats
+
+let send t ~src ~dst ?(bytes = 64) msg =
+  t.st <- { t.st with sent = t.st.sent + 1; bytes_sent = t.st.bytes_sent + bytes };
+  if is_down t src || is_blocked t src dst
+     || Rng.bernoulli t.rng (drop_probability t ~src ~dst)
+  then t.st <- { t.st with dropped = t.st.dropped + 1 }
+  else begin
+    let base = Distribution.sample (latency_for t ~src ~dst) t.rng in
+    let factor = slow_factor t src *. slow_factor t dst in
+    let delay =
+      if factor = 1.0 then base
+      else int_of_float (factor *. float_of_int base)
+    in
+    let env = { src; dst; sent_at = Sim.now t.sim; bytes; msg } in
+    ignore
+      (Sim.schedule t.sim ~delay (fun () ->
+           (* Down / blocked state is re-checked at delivery: a node that
+              crashed while the message was in flight never sees it. *)
+           if is_down t dst || is_blocked t src dst then
+             t.st <- { t.st with dropped = t.st.dropped + 1 }
+           else
+             match Addr.Tbl.find_opt t.handlers dst with
+             | None -> t.st <- { t.st with dropped = t.st.dropped + 1 }
+             | Some handler ->
+               t.st <-
+                 {
+                   t.st with
+                   delivered = t.st.delivered + 1;
+                   bytes_delivered = t.st.bytes_delivered + bytes;
+                 };
+               handler env))
+  end

@@ -1,0 +1,87 @@
+(** Simulated datagram network.
+
+    Messages are delivered asynchronously after a latency draw from a
+    per-link distribution, may be dropped (per-link or globally), and are
+    never reordered artificially beyond what independent latency draws
+    produce — matching the "asynchronous flows" the paper's protocols are
+    designed around (§2.2): senders never block, and any write may be lost
+    for any reason.
+
+    The network is polymorphic in the message type; each layer of the
+    system instantiates it with its own protocol variant.  Faults:
+
+    - node down/up: messages to or from a down node are silently dropped;
+    - partitions: arbitrary blocked address pairs;
+    - slow nodes: multiplicative latency factor per node (e.g. a storage
+      node hit by background work, used by the hedged-read experiment). *)
+
+type 'msg t
+
+type 'msg envelope = {
+  src : Addr.t;
+  dst : Addr.t;
+  sent_at : Simcore.Time_ns.t;
+  bytes : int;
+  msg : 'msg;
+}
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+}
+
+val create :
+  sim:Simcore.Sim.t ->
+  rng:Simcore.Rng.t ->
+  default_latency:Simcore.Distribution.t ->
+  unit ->
+  'msg t
+
+val sim : 'msg t -> Simcore.Sim.t
+
+val register : 'msg t -> Addr.t -> ('msg envelope -> unit) -> unit
+(** Install the delivery handler for an address (replacing any previous
+    one — a restarted process re-registers). *)
+
+val unregister : 'msg t -> Addr.t -> unit
+
+val send : 'msg t -> src:Addr.t -> dst:Addr.t -> ?bytes:int -> 'msg -> unit
+(** Fire-and-forget.  [bytes] (default 64) feeds traffic accounting — the
+    paper's network-amplification comparisons count bytes, not messages. *)
+
+val set_link_latency :
+  'msg t -> src:Addr.t -> dst:Addr.t -> Simcore.Distribution.t -> unit
+(** Override the latency distribution of one directed link. *)
+
+val set_latency_fn :
+  'msg t -> (Addr.t -> Addr.t -> Simcore.Distribution.t option) -> unit
+(** Bulk link model (e.g. by AZ distance); consulted before per-link
+    overrides fall back to the default. *)
+
+val set_drop_probability : 'msg t -> float -> unit
+(** Global iid drop probability applied to every message. *)
+
+val set_link_drop : 'msg t -> src:Addr.t -> dst:Addr.t -> float -> unit
+
+val set_node_slowdown : 'msg t -> Addr.t -> float -> unit
+(** Latency multiplier for all traffic to/from the node (1.0 = normal). *)
+
+val set_down : 'msg t -> Addr.t -> unit
+val set_up : 'msg t -> Addr.t -> unit
+val is_down : 'msg t -> Addr.t -> bool
+
+val block : 'msg t -> Addr.t -> Addr.t -> unit
+(** Sever both directions between two addresses. *)
+
+val unblock : 'msg t -> Addr.t -> Addr.t -> unit
+
+val partition : 'msg t -> Addr.Set.t -> Addr.Set.t -> unit
+(** Block every pair across the two sets. *)
+
+val heal_partition : 'msg t -> Addr.Set.t -> Addr.Set.t -> unit
+
+val stats : 'msg t -> stats
+val reset_stats : 'msg t -> unit

@@ -1,0 +1,1 @@
+lib/storage/block_store.ml: Block_id Bytes Char Hashtbl List Log_record Lsn String Txn_id Wal

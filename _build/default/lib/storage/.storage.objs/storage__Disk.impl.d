@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Distribution Rng Sim Simcore Time_ns

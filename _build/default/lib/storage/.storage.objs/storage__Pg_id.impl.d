@@ -1,0 +1,1 @@
+lib/storage/pg_id.ml: Format Hashtbl Int Map

@@ -1,0 +1,1 @@
+lib/storage/pg_id.mli: Format Hashtbl Map

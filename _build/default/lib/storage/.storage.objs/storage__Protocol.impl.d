@@ -1,0 +1,1 @@
+lib/storage/protocol.ml: Block_id Block_store Epoch Format List Log_record Lsn Member_id Pg_id Quorum Simnet String Txn_id Wal

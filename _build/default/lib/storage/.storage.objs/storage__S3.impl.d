@@ -1,0 +1,1 @@
+lib/storage/s3.ml: Distribution List Pg_id Quorum Rng Sim Simcore Time_ns Wal

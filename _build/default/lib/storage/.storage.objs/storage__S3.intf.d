@@ -1,0 +1,1 @@
+lib/storage/s3.mli: Pg_id Quorum Simcore Wal

@@ -1,0 +1,1 @@
+lib/storage/segment.ml: Block_store Epoch Hashtbl Hot_log List Log_record Lsn Member_id Membership Pg_id Protocol Quorum Simnet Txn_id Wal

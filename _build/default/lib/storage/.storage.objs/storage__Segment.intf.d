@@ -1,0 +1,1 @@
+lib/storage/segment.mli: Block_store Pg_id Protocol Quorum Simnet Wal

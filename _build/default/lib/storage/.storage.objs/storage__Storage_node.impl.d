@@ -1,0 +1,1 @@
+lib/storage/storage_node.ml: Disk Distribution Hot_log List Lsn Member_id Pg_id Protocol Quorum Rng S3 Segment Sim Simcore Simnet Time_ns Wal

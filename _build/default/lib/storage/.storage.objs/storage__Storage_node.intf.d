@@ -1,0 +1,1 @@
+lib/storage/storage_node.mli: Disk Pg_id Protocol S3 Segment Simcore Simnet

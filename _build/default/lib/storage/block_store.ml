@@ -1,0 +1,225 @@
+open Wal
+
+type version = { value : string option; txn : Txn_id.t; lsn : Lsn.t }
+
+type entry = {
+  keys : (string, version list) Hashtbl.t;
+  mutable stored_checksum : int;
+}
+
+type t = {
+  table : entry Block_id.Tbl.t;
+  mutable applied : Lsn.t;
+  mutable nversions : int;
+  mutable bytes : int;
+}
+
+let create () =
+  { table = Block_id.Tbl.create 64; applied = Lsn.none; nversions = 0; bytes = 0 }
+
+let entry_of t block =
+  match Block_id.Tbl.find_opt t.table block with
+  | Some e -> e
+  | None ->
+    let e = { keys = Hashtbl.create 8; stored_checksum = 0 } in
+    Block_id.Tbl.add t.table block e;
+    e
+
+let version_bytes key v =
+  String.length key
+  + (match v.value with Some s -> String.length s | None -> 0)
+  + 24 (* txn + lsn + tag overhead *)
+
+(* Digest of the current (newest-version-per-key) contents.  Combining with
+   an order-independent sum keeps it stable across hash-table iteration
+   order. *)
+let compute_checksum e =
+  Hashtbl.fold
+    (fun key versions acc ->
+      match versions with
+      | [] -> acc
+      | v :: _ ->
+        let h =
+          Hashtbl.hash (key, v.value, Txn_id.to_int v.txn, Lsn.to_int v.lsn)
+        in
+        acc + h)
+    e.keys 0
+
+let refresh_checksum e = e.stored_checksum <- compute_checksum e
+
+let add_version t e key v =
+  let prior = match Hashtbl.find_opt e.keys key with Some l -> l | None -> [] in
+  Hashtbl.replace e.keys key (v :: prior);
+  t.nversions <- t.nversions + 1;
+  t.bytes <- t.bytes + version_bytes key v
+
+let apply t (r : Log_record.t) =
+  (match r.op with
+  | Put { key; value } ->
+    let e = entry_of t r.block in
+    add_version t e key { value = Some value; txn = r.txn; lsn = r.lsn };
+    refresh_checksum e
+  | Delete { key } ->
+    let e = entry_of t r.block in
+    add_version t e key { value = None; txn = r.txn; lsn = r.lsn };
+    refresh_checksum e
+  | Commit | Abort | Noop -> ());
+  if Lsn.(r.lsn > t.applied) then t.applied <- r.lsn
+
+let applied_upto t = t.applied
+
+let versions t block ~key =
+  match Block_id.Tbl.find_opt t.table block with
+  | None -> []
+  | Some e -> ( match Hashtbl.find_opt e.keys key with Some l -> l | None -> [])
+
+let read_at t block ~key ~as_of ~exclude =
+  let rec pick = function
+    | [] -> None
+    | v :: rest ->
+      if Lsn.(v.lsn <= as_of) && not (Txn_id.Set.mem v.txn exclude) then Some v
+      else pick rest
+  in
+  pick (versions t block ~key)
+
+let block_snapshot t block =
+  match Block_id.Tbl.find_opt t.table block with
+  | None -> []
+  | Some e -> Hashtbl.fold (fun key vs acc -> (key, vs) :: acc) e.keys []
+
+let load_snapshot t block snapshot =
+  (* Remove existing accounting for the block, then install. *)
+  (match Block_id.Tbl.find_opt t.table block with
+  | None -> ()
+  | Some e ->
+    Hashtbl.iter
+      (fun key vs ->
+        List.iter
+          (fun v ->
+            t.nversions <- t.nversions - 1;
+            t.bytes <- t.bytes - version_bytes key v)
+          vs)
+      e.keys;
+    Block_id.Tbl.remove t.table block);
+  let e = entry_of t block in
+  List.iter
+    (fun (key, vs) ->
+      Hashtbl.replace e.keys key vs;
+      List.iter
+        (fun v ->
+          t.nversions <- t.nversions + 1;
+          t.bytes <- t.bytes + version_bytes key v;
+          if Lsn.(v.lsn > t.applied) then t.applied <- v.lsn)
+        vs)
+    snapshot;
+  refresh_checksum e
+
+let rollback_above t bound =
+  let dropped = ref 0 in
+  Block_id.Tbl.iter
+    (fun _ e ->
+      let changed = ref false in
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) e.keys [] in
+      List.iter
+        (fun key ->
+          let vs = Hashtbl.find e.keys key in
+          let keep, drop =
+            List.partition (fun v -> Lsn.(v.lsn <= bound)) vs
+          in
+          if drop <> [] then begin
+            changed := true;
+            List.iter
+              (fun v ->
+                incr dropped;
+                t.nversions <- t.nversions - 1;
+                t.bytes <- t.bytes - version_bytes key v)
+              drop;
+            Hashtbl.replace e.keys key keep
+          end)
+        keys;
+      if !changed then refresh_checksum e)
+    t.table;
+  if Lsn.(t.applied > bound) then t.applied <- bound;
+  !dropped
+
+let gc t ~keep_at_or_above ~is_committed =
+  let dropped = ref 0 in
+  Block_id.Tbl.iter
+    (fun _ e ->
+      let changed = ref false in
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) e.keys [] in
+      List.iter
+        (fun key ->
+          let vs = Hashtbl.find e.keys key in
+          (* Versions older than the newest *committed* version at or below
+             the floor are unreachable by any legal read view.  Versions of
+             transactions whose outcome this segment does not know are kept
+             (conservative: an in-flight or elsewhere-committed transaction
+             must not lose its data, and an aborted one must not anchor the
+             cut). *)
+          let rec split kept = function
+            | [] -> List.rev kept
+            | v :: rest ->
+              if Lsn.(v.lsn <= keep_at_or_above) && is_committed v.txn then
+                begin
+                  List.iter
+                    (fun old ->
+                      incr dropped;
+                      changed := true;
+                      t.nversions <- t.nversions - 1;
+                      t.bytes <- t.bytes - version_bytes key old)
+                    rest;
+                  List.rev (v :: kept)
+                end
+              else split (v :: kept) rest
+          in
+          Hashtbl.replace e.keys key (split [] vs))
+        keys;
+      if !changed then refresh_checksum e)
+    t.table;
+  !dropped
+
+let blocks t = Block_id.Tbl.fold (fun b _ acc -> b :: acc) t.table []
+let version_count t = t.nversions
+let bytes_used t = t.bytes
+
+let checksum t block =
+  match Block_id.Tbl.find_opt t.table block with
+  | None -> 0
+  | Some e -> e.stored_checksum
+
+let corrupt t block =
+  match Block_id.Tbl.find_opt t.table block with
+  | None -> false
+  | Some e ->
+    let victim =
+      Hashtbl.fold
+        (fun key vs acc ->
+          match (acc, vs) with
+          | Some _, _ -> acc
+          | None, { value = Some _; _ } :: _ -> Some key
+          | None, _ -> None)
+        e.keys None
+    in
+    (match victim with
+    | None -> false
+    | Some key ->
+      (match Hashtbl.find e.keys key with
+      | ({ value = Some s; _ } as v) :: rest ->
+        let flipped =
+          if String.length s = 0 then "\x01"
+          else begin
+            let b = Bytes.of_string s in
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+            Bytes.to_string b
+          end
+        in
+        (* Mutate the data but deliberately leave stored_checksum stale. *)
+        Hashtbl.replace e.keys key ({ v with value = Some flipped } :: rest);
+        true
+      | _ -> false))
+
+let verify t block =
+  match Block_id.Tbl.find_opt t.table block with
+  | None -> true
+  | Some e -> compute_checksum e = e.stored_checksum

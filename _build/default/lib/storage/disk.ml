@@ -1,0 +1,45 @@
+open Simcore
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  service : Distribution.t;
+  per_byte_ns : int;
+  mutable free_at : Time_ns.t;
+  mutable completed : int;
+  mutable bytes : int;
+}
+
+let create ~sim ~rng ~service ~per_byte_ns =
+  if per_byte_ns < 0 then invalid_arg "Disk.create: negative per-byte cost";
+  {
+    sim;
+    rng;
+    service;
+    per_byte_ns;
+    free_at = Time_ns.zero;
+    completed = 0;
+    bytes = 0;
+  }
+
+let submit t ~bytes callback =
+  let start = Time_ns.max (Sim.now t.sim) t.free_at in
+  let service = Distribution.sample t.service t.rng in
+  let transfer = bytes * t.per_byte_ns in
+  let done_at = Time_ns.add start (Time_ns.add service transfer) in
+  t.free_at <- done_at;
+  ignore
+    (Sim.schedule_at t.sim ~at:done_at (fun () ->
+         t.completed <- t.completed + 1;
+         t.bytes <- t.bytes + bytes;
+         callback ()))
+
+let busy_until t = t.free_at
+
+let queue_delay t =
+  let now = Sim.now t.sim in
+  if Time_ns.compare t.free_at now > 0 then Time_ns.diff t.free_at now
+  else Time_ns.zero
+
+let completed t = t.completed
+let bytes_written t = t.bytes

@@ -1,0 +1,17 @@
+type t = int
+
+let of_int i = if i < 0 then invalid_arg "Pg_id.of_int: negative" else i
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp fmt t = Format.fprintf fmt "PG%d" (t + 1)
+
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash t = t
+end)

@@ -1,0 +1,17 @@
+(** Protection-group identifiers.
+
+    A protection group is six segment replicas of one 10 GB slice of the
+    volume; protection groups concatenate to form the storage volume
+    (§2.1). *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

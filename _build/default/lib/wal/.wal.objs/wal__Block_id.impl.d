@@ -1,0 +1,1 @@
+lib/wal/block_id.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/wal/block_id.mli: Format Hashtbl Map Set

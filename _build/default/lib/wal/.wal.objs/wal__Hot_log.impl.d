@@ -1,0 +1,1 @@
+lib/wal/hot_log.ml: Hashtbl List Log_record Lsn

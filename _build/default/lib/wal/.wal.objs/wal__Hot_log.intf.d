@@ -1,0 +1,1 @@
+lib/wal/hot_log.mli: Log_record Lsn

@@ -1,0 +1,1 @@
+lib/wal/log_chain.ml: Block_id Format Hashtbl List Log_record Lsn

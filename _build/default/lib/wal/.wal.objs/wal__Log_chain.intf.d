@@ -1,0 +1,1 @@
+lib/wal/log_chain.mli: Block_id Log_record Lsn

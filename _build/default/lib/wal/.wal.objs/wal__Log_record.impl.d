@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Block_id Format Lsn String Txn_id

@@ -1,0 +1,1 @@
+lib/wal/log_record.mli: Block_id Format Lsn Txn_id

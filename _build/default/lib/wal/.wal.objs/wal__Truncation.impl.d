@@ -1,0 +1,1 @@
+lib/wal/truncation.ml: Format Lsn

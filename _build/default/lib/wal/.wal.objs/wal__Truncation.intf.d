@@ -1,0 +1,1 @@
+lib/wal/truncation.mli: Format Lsn

@@ -1,0 +1,20 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Block_id.of_int: negative" else i
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let hash t = t
+let pp fmt t = Format.fprintf fmt "B%d" t
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash t = t
+end)

@@ -1,0 +1,18 @@
+(** Data-block (page) identifiers.
+
+    The volume's block space is partitioned into protection groups by block
+    id; redo for a block is shipped only to the segments of the owning
+    protection group. *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,62 @@
+let scl_reference ~anchor records =
+  let by_prev = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Log_record.t) ->
+      Hashtbl.replace by_prev (Lsn.to_int r.prev_segment) r)
+    records;
+  let rec follow tail =
+    match Hashtbl.find_opt by_prev (Lsn.to_int tail) with
+    | None -> tail
+    | Some r -> follow r.Log_record.lsn
+  in
+  follow anchor
+
+let validate_links ~label ~prev_of records =
+  let sorted =
+    List.sort
+      (fun (a : Log_record.t) (b : Log_record.t) -> Lsn.compare a.lsn b.lsn)
+      records
+  in
+  let rec check prev = function
+    | [] -> Ok ()
+    | (r : Log_record.t) :: rest ->
+      if Lsn.equal (prev_of r) prev then check r.lsn rest
+      else
+        Error
+          (Format.asprintf "%s chain broken at %a: prev=%a expected %a" label
+             Lsn.pp r.lsn Lsn.pp (prev_of r) Lsn.pp prev)
+  in
+  check Lsn.none sorted
+
+let validate_segment_chain records =
+  validate_links ~label:"segment"
+    ~prev_of:(fun (r : Log_record.t) -> r.prev_segment)
+    records
+
+let validate_volume_chain records =
+  validate_links ~label:"volume"
+    ~prev_of:(fun (r : Log_record.t) -> r.prev_volume)
+    records
+
+let block_versions records block =
+  let touching =
+    List.filter
+      (fun (r : Log_record.t) -> Block_id.equal r.block block)
+      records
+  in
+  let sorted =
+    List.sort
+      (fun (a : Log_record.t) (b : Log_record.t) -> Lsn.compare a.lsn b.lsn)
+      touching
+  in
+  let rec check prev = function
+    | [] -> ()
+    | (r : Log_record.t) :: rest ->
+      if Lsn.equal r.prev_block prev then check r.lsn rest
+      else
+        failwith
+          (Format.asprintf "block chain broken at %a (prev_block=%a)" Lsn.pp
+             r.lsn Lsn.pp r.prev_block)
+  in
+  check Lsn.none sorted;
+  sorted

@@ -1,0 +1,23 @@
+(** Reference algorithms and validators over record sets.
+
+    These are deliberately naive (sort-and-scan) implementations used as
+    oracles by the property-test suite to check the incremental structures
+    ({!Hot_log}) and, at runtime, to audit chain integrity in debug builds. *)
+
+val scl_reference : anchor:Lsn.t -> Log_record.t list -> Lsn.t
+(** SCL computed from first principles: starting from [anchor], repeatedly
+    follow the unique record whose [prev_segment] equals the running tail.
+    Order of the input list is irrelevant. *)
+
+val validate_segment_chain : Log_record.t list -> (unit, string) result
+(** Check that the records form a linear segment chain when sorted by LSN:
+    each record's [prev_segment] is the LSN of its predecessor (or
+    {!Lsn.none} for the first). *)
+
+val validate_volume_chain : Log_record.t list -> (unit, string) result
+(** Same, for the [prev_volume] links across the whole volume's records. *)
+
+val block_versions : Log_record.t list -> Block_id.t -> Log_record.t list
+(** All records touching a block, in block-chain order (oldest first),
+    validating [prev_block] links along the way.
+    @raise Failure on a broken block chain. *)

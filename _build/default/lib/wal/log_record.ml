@@ -1,0 +1,60 @@
+type op =
+  | Put of { key : string; value : string }
+  | Delete of { key : string }
+  | Commit
+  | Abort
+  | Noop
+
+type t = {
+  lsn : Lsn.t;
+  prev_volume : Lsn.t;
+  prev_segment : Lsn.t;
+  prev_block : Lsn.t;
+  block : Block_id.t;
+  txn : Txn_id.t;
+  mtr_id : int;
+  mtr_end : bool;
+  op : op;
+  size_bytes : int;
+}
+
+(* LSN + three back-links + block + txn + mtr + flags, roughly what a compact
+   on-wire encoding would need. *)
+let header_bytes = 48
+
+let op_bytes = function
+  | Put { key; value } -> String.length key + String.length value
+  | Delete { key } -> String.length key
+  | Commit | Abort | Noop -> 0
+
+let make ~lsn ~prev_volume ~prev_segment ~prev_block ~block ~txn ~mtr_id
+    ~mtr_end ~op =
+  {
+    lsn;
+    prev_volume;
+    prev_segment;
+    prev_block;
+    block;
+    txn;
+    mtr_id;
+    mtr_end;
+    op;
+    size_bytes = header_bytes + op_bytes op;
+  }
+
+let is_commit t = match t.op with Commit -> true | Put _ | Delete _ | Abort | Noop -> false
+let is_abort t = match t.op with Abort -> true | Put _ | Delete _ | Commit | Noop -> false
+
+let pp_op fmt = function
+  | Put { key; value } -> Format.fprintf fmt "put %s=%s" key value
+  | Delete { key } -> Format.fprintf fmt "del %s" key
+  | Commit -> Format.pp_print_string fmt "commit"
+  | Abort -> Format.pp_print_string fmt "abort"
+  | Noop -> Format.pp_print_string fmt "noop"
+
+let pp fmt t =
+  Format.fprintf fmt "[lsn=%a prev(v=%a,s=%a,b=%a) %a %a mtr=%d%s %a]" Lsn.pp
+    t.lsn Lsn.pp t.prev_volume Lsn.pp t.prev_segment Lsn.pp t.prev_block
+    Block_id.pp t.block Txn_id.pp t.txn t.mtr_id
+    (if t.mtr_end then "*" else "")
+    pp_op t.op

@@ -1,0 +1,61 @@
+(** Redo log records.
+
+    The only writes that cross the simulated network from the database
+    instance to storage nodes (§2.2).  Each record carries the paper's three
+    back-chains:
+
+    - [prev_volume]: LSN of the preceding record in the whole volume (the
+      full log chain, fallback for volume-metadata regeneration);
+    - [prev_segment]: LSN of the preceding record routed to the same
+      protection group (the segment chain driving SCL and gossip);
+    - [prev_block]: LSN of the preceding record modifying the same block
+      (the block chain driving on-demand materialization).
+
+    Records also carry their mini-transaction (MTR) identity: storage-level
+    structural atomicity (§3.3) is expressed as "consistency points may only
+    rest on [mtr_end] records". *)
+
+(** Logical operation encoded by a record.  The engine above is a
+    transactional key-value store, so redo deltas are keyed puts/deletes. *)
+type op =
+  | Put of { key : string; value : string }
+  | Delete of { key : string }
+  | Commit  (** Transaction commit; the record's LSN is the txn's SCN. *)
+  | Abort  (** Transaction rollback marker. *)
+  | Noop  (** Control / filler (used by tests and volume metadata). *)
+
+type t = {
+  lsn : Lsn.t;
+  prev_volume : Lsn.t;
+  prev_segment : Lsn.t;
+  prev_block : Lsn.t;
+  block : Block_id.t;
+  txn : Txn_id.t;
+  mtr_id : int;  (** Mini-transaction this record belongs to. *)
+  mtr_end : bool;  (** Last record of its MTR (a VDL candidate). *)
+  op : op;
+  size_bytes : int;  (** Simulated wire/disk footprint. *)
+}
+
+val make :
+  lsn:Lsn.t ->
+  prev_volume:Lsn.t ->
+  prev_segment:Lsn.t ->
+  prev_block:Lsn.t ->
+  block:Block_id.t ->
+  txn:Txn_id.t ->
+  mtr_id:int ->
+  mtr_end:bool ->
+  op:op ->
+  t
+(** Build a record; [size_bytes] is estimated from the op (a fixed header
+    plus key/value payload), matching the paper's observation that redo
+    records are far smaller than data blocks. *)
+
+val header_bytes : int
+(** Fixed per-record overhead used by [make]'s size estimate. *)
+
+val is_commit : t -> bool
+val is_abort : t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,61 @@
+(** Log Sequence Numbers.
+
+    The LSN space is common across the whole database volume, monotonically
+    increasing, and allocated solely by the (single) writer instance — the
+    paper's key invariant ("the log only ever marches forward") that lets
+    Aurora replace consensus with bookkeeping.  LSNs start at 1; {!none} (0)
+    is the chain terminator used by the first record of each back-chain. *)
+
+type t = private int
+
+val none : t
+(** Chain terminator / "no LSN yet".  Compares below every real LSN. *)
+
+val first : t
+(** The first allocatable LSN (1). *)
+
+val of_int : int -> t
+(** @raise Invalid_argument on negatives. *)
+
+val to_int : t -> int
+val next : t -> t
+val add : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+val is_none : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Monotonic allocator owned by the writer instance.  Allocation is pure
+    local state — this is precisely what the paper exploits. *)
+module Allocator : sig
+  type lsn := t
+  type t
+
+  val create : unit -> t
+
+  val create_above : lsn -> t
+  (** Restart allocation strictly above a point — used after crash recovery
+      so new records land above the truncation range (§2.4). *)
+
+  val reset_above : t -> lsn -> unit
+  (** In-place variant of {!create_above}.
+      @raise Invalid_argument if the point is below the current tail
+      (the LSN space only ever marches forward). *)
+
+  val last : t -> lsn
+  (** Highest LSN allocated so far ({!none} initially). *)
+
+  val take : t -> lsn
+  (** Allocate the next LSN. *)
+
+  val take_batch : t -> int -> lsn * lsn
+  (** [take_batch t n] allocates [n] contiguous LSNs (an MTR's batch),
+      returning [(first, last)] inclusive.  [n >= 1]. *)
+end

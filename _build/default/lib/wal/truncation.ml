@@ -1,0 +1,11 @@
+type t = { above : Lsn.t; upto : Lsn.t }
+
+let make ~above ~upto =
+  if Lsn.(upto < above) then invalid_arg "Truncation.make: upto < above";
+  { above; upto }
+
+let annuls t lsn = Lsn.(lsn > t.above) && Lsn.(lsn <= t.upto)
+let next_allocatable t = Lsn.next t.upto
+
+let pp fmt t =
+  Format.fprintf fmt "annul(%a, %a]" Lsn.pp t.above Lsn.pp t.upto

@@ -1,0 +1,21 @@
+(** Volume-level log truncation ranges (§2.4, Figure 4).
+
+    On crash recovery the database instance "snips off the ragged edge of the
+    log by recording a truncation range that annuls any log records beyond
+    the newly computed VCL".  The range is registered with every segment so
+    that in-flight asynchronous writes completing after recovery are ignored,
+    and the post-recovery LSN allocator restarts above the range. *)
+
+type t = private {
+  above : Lsn.t;  (** Records with LSN [> above] are annulled... *)
+  upto : Lsn.t;  (** ... up to and including [upto]. *)
+}
+
+val make : above:Lsn.t -> upto:Lsn.t -> t
+(** @raise Invalid_argument if [upto < above]. *)
+
+val annuls : t -> Lsn.t -> bool
+val next_allocatable : t -> Lsn.t
+(** First LSN above the range, where post-recovery allocation resumes. *)
+
+val pp : Format.formatter -> t -> unit

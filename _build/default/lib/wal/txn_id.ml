@@ -1,0 +1,32 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Txn_id.of_int: negative" else i
+
+let to_int t = t
+let compare = Int.compare
+let equal = Int.equal
+let hash t = t
+let pp fmt t = Format.fprintf fmt "T%d" t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash t = t
+end)
+
+module Allocator = struct
+  type nonrec t = { mutable last : int }
+
+  let create () = { last = 0 }
+
+  let take t =
+    t.last <- t.last + 1;
+    t.last
+
+  let reset_above t id = if id > t.last then t.last <- id
+end

@@ -1,0 +1,27 @@
+(** Transaction identifiers, allocated by the writer instance. *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t
+
+(** Monotonic allocator. *)
+module Allocator : sig
+  type txn_id := t
+  type t
+
+  val create : unit -> t
+  val take : t -> txn_id
+
+  val reset_above : t -> txn_id -> unit
+  (** Resume allocation above an id observed in the recovered log, so a
+      post-recovery writer never reuses a transaction id. *)
+end

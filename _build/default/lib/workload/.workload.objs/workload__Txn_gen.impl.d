@@ -1,0 +1,1 @@
+lib/workload/txn_gen.ml: Aurora_core Distribution Float Histogram List Printf Rng Sim Simcore String Time_ns Txn_id Wal Zipf

@@ -1,0 +1,1 @@
+lib/workload/txn_gen.mli: Aurora_core Simcore Txn_id Wal

@@ -1,0 +1,46 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  zeta2 : float;
+}
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n";
+  if theta < 0. || theta >= 1. then invalid_arg "Zipf.create: theta";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    (1. -. ((2. /. float_of_int n) ** (1. -. theta)))
+    /. (1. -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; zeta2 }
+
+let sample t rng =
+  if t.theta = 0. then Simcore.Rng.int rng t.n
+  else begin
+    let u = Simcore.Rng.unit_float rng in
+    let uz = u *. t.zetan in
+    if uz < 1. then 0
+    else if uz < 1. +. (0.5 ** t.theta) then 1
+    else
+      let idx =
+        int_of_float
+          (float_of_int t.n
+          *. (((t.eta *. u) -. t.eta +. 1.) ** t.alpha))
+      in
+      if idx >= t.n then t.n - 1 else idx
+  end
+
+let n t = t.n
+let theta t = t.theta

@@ -1,0 +1,19 @@
+(** Zipfian key-popularity sampler.
+
+    Standard skewed access pattern for database workloads: key rank [r]
+    (1-based) is drawn with probability proportional to [1 / r^theta].
+    Uses the rejection-free inverse-CDF approximation of Gray et al.
+    (the same construction YCSB uses), O(1) per sample after O(1) setup. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [n] keys, skew [theta] in [\[0, 1)]; theta = 0 is uniform, 0.99 is the
+    YCSB-default heavy skew.
+    @raise Invalid_argument for [n <= 0] or [theta] outside [\[0, 1)]. *)
+
+val sample : t -> Simcore.Rng.t -> int
+(** A key index in [\[0, n)]; index 0 is the most popular. *)
+
+val n : t -> int
+val theta : t -> float

@@ -1,0 +1,473 @@
+(* Tests for the Aurora core engine: consistency points, boxcar policies,
+   MVCC read views, buffer cache, commit queue, and the recovery math. *)
+open Simcore
+open Wal
+open Quorum
+module C = Aurora_core.Consistency
+module Boxcar = Aurora_core.Boxcar
+module Read_view = Aurora_core.Read_view
+module Txn_table = Aurora_core.Txn_table
+module Buffer_cache = Aurora_core.Buffer_cache
+module Commit_queue = Aurora_core.Commit_queue
+module Recovery = Aurora_core.Recovery
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let lsn = Lsn.of_int
+let pg = Storage.Pg_id.of_int
+let m = Member_id.of_int
+let six = List.init 6 m
+
+(* ---- Consistency ---- *)
+
+let fresh_consistency n_pgs =
+  let c = C.create () in
+  for i = 0 to n_pgs - 1 do
+    C.register_pg c (pg i) ~write_quorum:(Quorum_set.k_of 4 six)
+  done;
+  c
+
+let test_consistency_figure3 () =
+  (* Covered in depth by Harness.Experiments.E3; keep the core case here. *)
+  let c = fresh_consistency 2 in
+  for l = 101 to 108 do
+    C.note_submitted c ~pg:(pg (l mod 2)) ~lsn:(lsn l) ~mtr_end:true
+  done;
+  let ack p s l = C.note_ack c ~pg:(pg p) ~seg:(m s) ~scl:(lsn l) in
+  (* odd lsns -> pg 1, even -> pg 0 *)
+  ack 1 0 103; ack 1 1 103; ack 1 2 103; ack 1 3 103; ack 1 4 107;
+  ack 0 0 104; ack 0 1 104; ack 0 2 104; ack 0 3 104; ack 0 4 108;
+  check_int "pgcl odd" 103 (Lsn.to_int (C.pgcl c (pg 1)));
+  check_int "pgcl even" 104 (Lsn.to_int (C.pgcl c (pg 0)));
+  check_int "vcl" 104 (Lsn.to_int (C.vcl c))
+
+let test_consistency_quorum_threshold () =
+  let c = fresh_consistency 1 in
+  C.note_submitted c ~pg:(pg 0) ~lsn:(lsn 1) ~mtr_end:true;
+  for s = 0 to 2 do
+    C.note_ack c ~pg:(pg 0) ~seg:(m s) ~scl:(lsn 1)
+  done;
+  check_int "3 acks insufficient" 0 (Lsn.to_int (C.vcl c));
+  C.note_ack c ~pg:(pg 0) ~seg:(m 3) ~scl:(lsn 1);
+  check_int "4th ack completes" 1 (Lsn.to_int (C.vcl c))
+
+let test_consistency_vdl_mtr () =
+  let c = fresh_consistency 1 in
+  (* A 3-record MTR: VDL must rest only on the final record. *)
+  C.note_submitted c ~pg:(pg 0) ~lsn:(lsn 1) ~mtr_end:false;
+  C.note_submitted c ~pg:(pg 0) ~lsn:(lsn 2) ~mtr_end:false;
+  C.note_submitted c ~pg:(pg 0) ~lsn:(lsn 3) ~mtr_end:true;
+  for s = 0 to 3 do
+    C.note_ack c ~pg:(pg 0) ~seg:(m s) ~scl:(lsn 2)
+  done;
+  check_int "vcl mid-MTR" 2 (Lsn.to_int (C.vcl c));
+  check_int "vdl waits for MTR end" 0 (Lsn.to_int (C.vdl c));
+  for s = 0 to 3 do
+    C.note_ack c ~pg:(pg 0) ~seg:(m s) ~scl:(lsn 3)
+  done;
+  check_int "vdl lands on MTR end" 3 (Lsn.to_int (C.vdl c))
+
+let test_consistency_hooks_and_candidates () =
+  let c = fresh_consistency 1 in
+  let vcl_seen = ref [] in
+  C.on_vcl_advance c (fun l -> vcl_seen := Lsn.to_int l :: !vcl_seen);
+  C.note_submitted c ~pg:(pg 0) ~lsn:(lsn 1) ~mtr_end:true;
+  C.note_submitted c ~pg:(pg 0) ~lsn:(lsn 2) ~mtr_end:true;
+  for s = 0 to 3 do
+    C.note_ack c ~pg:(pg 0) ~seg:(m s) ~scl:(lsn 2)
+  done;
+  Alcotest.(check (list int)) "hook fired once with final value" [ 2 ] !vcl_seen;
+  check_int "candidates at 2" 4
+    (Member_id.Set.cardinal (C.segments_at_or_above c ~pg:(pg 0) ~lsn:(lsn 2)));
+  C.note_ack c ~pg:(pg 0) ~seg:(m 4) ~scl:(lsn 1);
+  check_int "partial segment excluded" 4
+    (Member_id.Set.cardinal (C.segments_at_or_above c ~pg:(pg 0) ~lsn:(lsn 2)))
+
+let test_consistency_quorum_set_write () =
+  (* Transitional quorum (Figure 5): ABCD satisfies both sides. *)
+  let c = C.create () in
+  let abcdeg = List.init 5 m @ [ m 6 ] in
+  C.register_pg c (pg 0)
+    ~write_quorum:
+      (Quorum_set.all [ Quorum_set.k_of 4 six; Quorum_set.k_of 4 abcdeg ]);
+  C.note_submitted c ~pg:(pg 0) ~lsn:(lsn 1) ~mtr_end:true;
+  for s = 0 to 2 do
+    C.note_ack c ~pg:(pg 0) ~seg:(m s) ~scl:(lsn 1)
+  done;
+  check_int "3 acks not enough" 0 (Lsn.to_int (C.vcl c));
+  C.note_ack c ~pg:(pg 0) ~seg:(m 3) ~scl:(lsn 1);
+  check_int "ABCD satisfies composite" 1 (Lsn.to_int (C.vcl c))
+
+(* Property: VCL equals the reference computation (largest prefix of the
+   global submission order where each record's group reaches quorum). *)
+let prop_consistency_reference =
+  QCheck.Test.make ~name:"VCL matches reference under random ack schedules"
+    ~count:150
+    QCheck.(pair (int_range 1 60) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let c = fresh_consistency 2 in
+      let assignment = Array.init n (fun _ -> Rng.int rng 2) in
+      for i = 0 to n - 1 do
+        C.note_submitted c ~pg:(pg assignment.(i)) ~lsn:(lsn (i + 1)) ~mtr_end:true
+      done;
+      (* Random per-segment SCLs (each segment acked a random prefix of its
+         group's records). *)
+      let scls = Array.make_matrix 2 6 0 in
+      for p = 0 to 1 do
+        for s = 0 to 5 do
+          let v = Rng.int rng (n + 1) in
+          scls.(p).(s) <- v;
+          C.note_ack c ~pg:(pg p) ~seg:(m s) ~scl:(lsn v)
+        done
+      done;
+      (* Reference: record i durable iff >=4 segments of its group have
+         scl >= i+1; VCL = largest prefix fully durable. *)
+      let durable i =
+        let p = assignment.(i) in
+        let count = ref 0 in
+        for s = 0 to 5 do
+          if scls.(p).(s) >= i + 1 then incr count
+        done;
+        !count >= 4
+      in
+      let rec prefix i = if i < n && durable i then prefix (i + 1) else i in
+      Lsn.to_int (C.vcl c) = prefix 0)
+
+(* ---- Boxcar ---- *)
+
+let mk_boxcar sim policy =
+  let flushed = ref [] in
+  let b =
+    Boxcar.create ~sim ~policy ~flush:(fun records ->
+        flushed := List.map (fun (r : Log_record.t) -> Lsn.to_int r.lsn) records :: !flushed)
+  in
+  (b, fun () -> List.rev !flushed)
+
+let rec_at l =
+  Log_record.make ~lsn:(lsn l) ~prev_volume:Lsn.none ~prev_segment:Lsn.none
+    ~prev_block:Lsn.none ~block:(Block_id.of_int 0) ~txn:(Txn_id.of_int 1)
+    ~mtr_id:l ~mtr_end:true ~op:Log_record.Noop
+
+let test_boxcar_immediate () =
+  let sim = Sim.create () in
+  let b, flushed = mk_boxcar sim Boxcar.Immediate in
+  Boxcar.add b (rec_at 1);
+  Boxcar.add b (rec_at 2);
+  Alcotest.(check (list (list int))) "each alone" [ [ 1 ]; [ 2 ] ] (flushed ())
+
+let test_boxcar_first_record () =
+  let sim = Sim.create () in
+  let b, flushed = mk_boxcar sim (Boxcar.First_record (Time_ns.us 20)) in
+  Boxcar.add b (rec_at 1);
+  (* Arrives while the async send is pending: rides along. *)
+  ignore (Sim.schedule sim ~delay:(Time_ns.us 10) (fun () -> Boxcar.add b (rec_at 2)));
+  (* Arrives after the send fired: next boxcar. *)
+  ignore (Sim.schedule sim ~delay:(Time_ns.us 50) (fun () -> Boxcar.add b (rec_at 3)));
+  Sim.run sim;
+  Alcotest.(check (list (list int))) "packed then fresh" [ [ 1; 2 ]; [ 3 ] ] (flushed ());
+  check_bool "mean batch" true (Boxcar.mean_batch_size b = 1.5)
+
+let test_boxcar_timeout_policy () =
+  let sim = Sim.create () in
+  let b, flushed =
+    mk_boxcar sim (Boxcar.Timeout_boxcar { timeout = Time_ns.ms 1; max_records = 3 })
+  in
+  (* Fill to max: flushes immediately without waiting. *)
+  Boxcar.add b (rec_at 1);
+  Boxcar.add b (rec_at 2);
+  Boxcar.add b (rec_at 3);
+  check_int "flushed at capacity" 1 (List.length (flushed ()));
+  check_int "at time zero" 0 (Sim.now sim);
+  (* A lone record waits for the timer. *)
+  Boxcar.add b (rec_at 4);
+  Sim.run sim;
+  check_int "timer fired" (Time_ns.ms 1) (Sim.now sim);
+  Alcotest.(check (list (list int))) "both batches" [ [ 1; 2; 3 ]; [ 4 ] ] (flushed ())
+
+let test_boxcar_flush_now () =
+  let sim = Sim.create () in
+  let b, flushed = mk_boxcar sim (Boxcar.First_record (Time_ns.ms 10)) in
+  Boxcar.add b (rec_at 1);
+  Boxcar.flush_now b;
+  check_int "flushed" 1 (List.length (flushed ()));
+  Sim.run sim;
+  check_int "timer cancelled, no double flush" 1 (List.length (flushed ()))
+
+(* ---- Txn_table & Read_view ---- *)
+
+let test_txn_table () =
+  let t = Txn_table.create () in
+  let a = Txn_table.begin_txn t in
+  let b = Txn_table.begin_txn t in
+  check_bool "active" true (Txn_table.is_active t a);
+  Txn_table.mark_committed t a ~scn:(lsn 10);
+  Txn_table.mark_aborted t b;
+  Alcotest.(check (option int)) "scn" (Some 10)
+    (Option.map Lsn.to_int (Txn_table.commit_scn t a));
+  Alcotest.(check (option int)) "aborted has none" None
+    (Option.map Lsn.to_int (Txn_table.commit_scn t b));
+  check_int "no active" 0 (Txn_table.active_count t);
+  check_int "commits since 5" 1 (List.length (Txn_table.commits_since t (lsn 5)));
+  check_int "commits since 10" 0 (List.length (Txn_table.commits_since t (lsn 10)))
+
+let version ~l ~t value =
+  { Storage.Block_store.value = Some value; txn = Txn_id.of_int t; lsn = lsn l }
+
+let test_read_view_visibility () =
+  let tbl = Txn_table.create () in
+  let t1 = Txn_table.begin_txn tbl in
+  let t2 = Txn_table.begin_txn tbl in
+  Txn_table.mark_committed tbl t1 ~scn:(lsn 5);
+  (* t2 stays active. *)
+  let commit_scn x = Txn_table.commit_scn tbl x in
+  let chain =
+    [ version ~l:8 ~t:2 "uncommitted"; version ~l:3 ~t:1 "committed" ]
+  in
+  let view = Read_view.make ~as_of:(lsn 10) () in
+  Alcotest.(check (option string)) "skips active txn" (Some "committed")
+    (Read_view.value view ~commit_scn chain);
+  (* The writing transaction sees its own write. *)
+  let own = Read_view.make ~as_of:(lsn 10) ~owner:t2 () in
+  Alcotest.(check (option string)) "own write visible" (Some "uncommitted")
+    (Read_view.value own ~commit_scn chain);
+  (* A view before the commit SCN must not see it. *)
+  let early = Read_view.make ~as_of:(lsn 4) () in
+  Alcotest.(check (option string)) "pre-commit view blind" None
+    (Read_view.value early ~commit_scn chain)
+
+let test_read_view_delete () =
+  let tbl = Txn_table.create () in
+  let t1 = Txn_table.begin_txn tbl in
+  Txn_table.mark_committed tbl t1 ~scn:(lsn 6);
+  let commit_scn x = Txn_table.commit_scn tbl x in
+  let chain =
+    [
+      { Storage.Block_store.value = None; txn = t1; lsn = lsn 5 };
+      version ~l:2 ~t:1 "old";
+    ]
+  in
+  let view = Read_view.make ~as_of:(lsn 10) () in
+  Alcotest.(check (option string)) "visible delete = absent" None
+    (Read_view.value view ~commit_scn chain)
+
+(* ---- Buffer cache ---- *)
+
+let put_record ~l ~block key value =
+  Log_record.make ~lsn:(lsn l) ~prev_volume:Lsn.none ~prev_segment:Lsn.none
+    ~prev_block:Lsn.none ~block:(Block_id.of_int block) ~txn:(Txn_id.of_int 1)
+    ~mtr_id:l ~mtr_end:true ~op:(Log_record.Put { key; value })
+
+let test_cache_wal_rule () =
+  let cache = Buffer_cache.create ~capacity:2 in
+  (* Three dirty blocks, VDL at 0: nothing evictable, cache stays oversized. *)
+  Buffer_cache.apply cache (put_record ~l:1 ~block:0 "a" "1") ~vdl:Lsn.none;
+  Buffer_cache.apply cache (put_record ~l:2 ~block:1 "b" "2") ~vdl:Lsn.none;
+  Buffer_cache.apply cache (put_record ~l:3 ~block:2 "c" "3") ~vdl:Lsn.none;
+  check_int "WAL rule blocks eviction" 3 (Buffer_cache.size cache);
+  check_bool "blocked recorded" true ((Buffer_cache.stats cache).eviction_blocked > 0);
+  (* VDL covers everything: pressure now shrinks to capacity. *)
+  Buffer_cache.evict_pressure cache ~vdl:(lsn 3);
+  check_int "evicted to capacity" 2 (Buffer_cache.size cache)
+
+let test_cache_lru () =
+  let cache = Buffer_cache.create ~capacity:2 in
+  Buffer_cache.apply cache (put_record ~l:1 ~block:0 "a" "1") ~vdl:(lsn 10);
+  Buffer_cache.apply cache (put_record ~l:2 ~block:1 "b" "2") ~vdl:(lsn 10);
+  (* Touch block 0 so block 1 is the LRU victim. *)
+  ignore (Buffer_cache.read cache (Block_id.of_int 0) ~key:"a");
+  Buffer_cache.apply cache (put_record ~l:3 ~block:2 "c" "3") ~vdl:(lsn 10);
+  check_bool "lru evicted" false (Buffer_cache.contains cache (Block_id.of_int 1));
+  check_bool "recently used kept" true (Buffer_cache.contains cache (Block_id.of_int 0))
+
+let test_cache_partial_vs_complete () =
+  let cache = Buffer_cache.create ~capacity:4 in
+  Buffer_cache.apply cache (put_record ~l:1 ~block:0 "a" "1") ~vdl:(lsn 10);
+  (* Blind-write block: authoritative for "a", not for "zz". *)
+  (match Buffer_cache.read cache (Block_id.of_int 0) ~key:"zz" with
+  | Buffer_cache.Partial [] -> ()
+  | _ -> Alcotest.fail "expected Partial []");
+  (* Install a storage image: now authoritative. *)
+  Buffer_cache.install cache
+    {
+      Storage.Protocol.image_block = Block_id.of_int 0;
+      image_as_of = lsn 5;
+      image_entries = [ ("a", [ version ~l:1 ~t:1 "1" ]) ];
+    }
+    ~vdl:(lsn 10);
+  (match Buffer_cache.read cache (Block_id.of_int 0) ~key:"zz" with
+  | Buffer_cache.Hit [] -> ()
+  | _ -> Alcotest.fail "expected authoritative empty");
+  match Buffer_cache.read cache (Block_id.of_int 0) ~key:"a" with
+  | Buffer_cache.Hit [ _ ] -> ()
+  | _ -> Alcotest.fail "expected single version"
+
+let test_cache_install_preserves_local () =
+  let cache = Buffer_cache.create ~capacity:4 in
+  (* Local write above the image's as_of must survive the install. *)
+  Buffer_cache.apply cache (put_record ~l:9 ~block:0 "a" "local") ~vdl:(lsn 20);
+  Buffer_cache.install cache
+    {
+      Storage.Protocol.image_block = Block_id.of_int 0;
+      image_as_of = lsn 5;
+      image_entries = [ ("a", [ version ~l:3 ~t:2 "storage" ]) ];
+    }
+    ~vdl:(lsn 20);
+  match Buffer_cache.read cache (Block_id.of_int 0) ~key:"a" with
+  | Buffer_cache.Hit (newest :: _) ->
+    Alcotest.(check (option string)) "local wins" (Some "local")
+      newest.Storage.Block_store.value
+  | _ -> Alcotest.fail "expected merged chain"
+
+(* ---- Commit queue ---- *)
+
+let test_commit_queue () =
+  let q = Commit_queue.create () in
+  let acked = ref [] in
+  for i = 1 to 3 do
+    Commit_queue.enqueue q ~txn:(Txn_id.of_int i) ~scn:(lsn (i * 10))
+      ~on_ack:(fun () -> acked := i :: !acked)
+  done;
+  check_int "drain below 15" 1 (Commit_queue.drain q ~vcl:(lsn 15));
+  Alcotest.(check (list int)) "first only" [ 1 ] (List.rev !acked);
+  check_int "drain to 30" 2 (Commit_queue.drain q ~vcl:(lsn 30));
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3 ] (List.rev !acked);
+  check_int "empty" 0 (Commit_queue.pending q)
+
+(* ---- Recovery math ---- *)
+
+let test_recovered_point () =
+  check_int "max of scls" 7
+    (Lsn.to_int
+       (Recovery.recovered_point
+          ~scls:[ (m 0, lsn 3); (m 1, lsn 7); (m 2, lsn 5) ]))
+
+let chain_records assignment =
+  (* Build volume-chain records 1..n with the given pg assignment. *)
+  List.mapi
+    (fun i p ->
+      let l = i + 1 in
+      Log_record.make ~lsn:(lsn l) ~prev_volume:(lsn (l - 1))
+        ~prev_segment:Lsn.none ~prev_block:Lsn.none
+        ~block:(Block_id.of_int p) (* block i lives in pg i for the test *)
+        ~txn:(Txn_id.of_int 1) ~mtr_id:l ~mtr_end:true ~op:Log_record.Noop)
+    assignment
+
+let test_compute_vcl_figure4 () =
+  (* Records 1..6 alternating pg0/pg1; pg0 durable to 5, pg1 durable to 4:
+     the chain is complete through 5 but 6 (pg1) is beyond its point. *)
+  let records = chain_records [ 0; 1; 0; 1; 0; 1 ] in
+  let points p = if Storage.Pg_id.to_int p = 0 then lsn 5 else lsn 4 in
+  let vcl, vdl =
+    Recovery.compute_vcl ~anchor:Lsn.none ~points
+      ~pg_of:(fun b -> Storage.Pg_id.of_int (Block_id.to_int b))
+      records
+  in
+  check_int "vcl stops at first uncovered" 5 (Lsn.to_int vcl);
+  check_int "vdl likewise" 5 (Lsn.to_int vdl)
+
+let test_compute_vcl_gap () =
+  (* A missing record (never fetched) must stop the walk even if later
+     records are covered. *)
+  let records =
+    List.filter
+      (fun (r : Log_record.t) -> Lsn.to_int r.lsn <> 3)
+      (chain_records [ 0; 0; 0; 0; 0 ])
+  in
+  let vcl, _ =
+    Recovery.compute_vcl ~anchor:Lsn.none
+      ~points:(fun _ -> lsn 100)
+      ~pg_of:(fun b -> Storage.Pg_id.of_int (Block_id.to_int b))
+      records
+  in
+  check_int "stops at gap" 2 (Lsn.to_int vcl)
+
+let test_compute_vcl_anchor () =
+  (* Records below the anchor were GCed: the walk starts above it. *)
+  let records =
+    List.filter
+      (fun (r : Log_record.t) -> Lsn.to_int r.lsn > 3)
+      (chain_records [ 0; 0; 0; 0; 0; 0 ])
+  in
+  let vcl, _ =
+    Recovery.compute_vcl ~anchor:(lsn 3)
+      ~points:(fun _ -> lsn 100)
+      ~pg_of:(fun b -> Storage.Pg_id.of_int (Block_id.to_int b))
+      records
+  in
+  check_int "continues from anchor" 6 (Lsn.to_int vcl)
+
+let prop_compute_vcl_never_exceeds_durable =
+  QCheck.Test.make
+    ~name:"recovered VCL covers exactly the durable gapless prefix" ~count:200
+    QCheck.(triple (int_range 1 40) (int_range 0 40) (int_range 0 9999))
+    (fun (n, point0, seed) ->
+      let rng = Rng.create seed in
+      let assignment = List.init n (fun _ -> Rng.int rng 2) in
+      let records = chain_records assignment in
+      let p0 = lsn (min point0 n) in
+      let p1 = lsn (Rng.int rng (n + 1)) in
+      let points p = if Storage.Pg_id.to_int p = 0 then p0 else p1 in
+      let vcl, _ =
+        Recovery.compute_vcl ~anchor:Lsn.none ~points
+          ~pg_of:(fun b -> Storage.Pg_id.of_int (Block_id.to_int b))
+          records
+      in
+      (* Reference: largest prefix where each record <= its pg's point. *)
+      let rec prefix i =
+        if i < n
+           && Lsn.to_int (points (Storage.Pg_id.of_int (List.nth assignment i)))
+              >= i + 1
+        then prefix (i + 1)
+        else i
+      in
+      Lsn.to_int vcl = prefix 0)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "aurora_core"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "figure 3" `Quick test_consistency_figure3;
+          Alcotest.test_case "quorum threshold" `Quick
+            test_consistency_quorum_threshold;
+          Alcotest.test_case "VDL on MTR boundaries" `Quick test_consistency_vdl_mtr;
+          Alcotest.test_case "hooks + read candidates" `Quick
+            test_consistency_hooks_and_candidates;
+          Alcotest.test_case "composite write quorum" `Quick
+            test_consistency_quorum_set_write;
+          qc prop_consistency_reference;
+        ] );
+      ( "boxcar",
+        [
+          Alcotest.test_case "immediate" `Quick test_boxcar_immediate;
+          Alcotest.test_case "first-record (aurora)" `Quick test_boxcar_first_record;
+          Alcotest.test_case "timeout policy" `Quick test_boxcar_timeout_policy;
+          Alcotest.test_case "flush_now" `Quick test_boxcar_flush_now;
+        ] );
+      ( "mvcc",
+        [
+          Alcotest.test_case "txn table" `Quick test_txn_table;
+          Alcotest.test_case "visibility" `Quick test_read_view_visibility;
+          Alcotest.test_case "deletes" `Quick test_read_view_delete;
+        ] );
+      ( "buffer_cache",
+        [
+          Alcotest.test_case "WAL eviction rule" `Quick test_cache_wal_rule;
+          Alcotest.test_case "LRU order" `Quick test_cache_lru;
+          Alcotest.test_case "partial vs complete" `Quick
+            test_cache_partial_vs_complete;
+          Alcotest.test_case "install preserves local" `Quick
+            test_cache_install_preserves_local;
+        ] );
+      ("commit_queue", [ Alcotest.test_case "scn gating" `Quick test_commit_queue ]);
+      ( "recovery",
+        [
+          Alcotest.test_case "recovered point = max scl" `Quick test_recovered_point;
+          Alcotest.test_case "vcl walk (figure 4)" `Quick test_compute_vcl_figure4;
+          Alcotest.test_case "vcl stops at gaps" `Quick test_compute_vcl_gap;
+          Alcotest.test_case "vcl from anchor" `Quick test_compute_vcl_anchor;
+          qc prop_compute_vcl_never_exceeds_durable;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+(* Tests for the experiment harness: cluster assembly, report rendering,
+   and the fast deterministic experiments. *)
+open Simcore
+open Quorum
+module Cluster = Harness.Cluster
+module E = Harness.Experiments
+module Database = Aurora_core.Database
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_report_rendering () =
+  let r = Harness.Report.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Harness.Report.row r [ "x"; "y" ];
+  Harness.Report.row r [ "longer"; "z" ];
+  Harness.Report.note r "note";
+  let s = Harness.Report.to_string r in
+  check_bool "title" true (String.length s > 0 && String.sub s 0 4 = "== t");
+  check_bool "has note" true (contains s "note");
+  check_bool "aligned" true (contains s "longer  z")
+
+let test_cluster_assembly () =
+  let cluster = Cluster.create { Cluster.default_config with seed = 3; n_pgs = 3 } in
+  check_int "18 storage nodes" 18 (List.length (Cluster.storage_nodes cluster));
+  check_int "members per pg" 6
+    (List.length (Cluster.members_of_pg cluster (Storage.Pg_id.of_int 0)));
+  check_bool "writer open" true (Database.is_open (Cluster.db cluster));
+  (* Deterministic: same seed, same first latency sample behaviour. *)
+  let c2 = Cluster.create { Cluster.default_config with seed = 3; n_pgs = 3 } in
+  let run c =
+    let db = Cluster.db c in
+    let txn = Database.begin_txn db in
+    Database.put db ~txn ~key:"k" ~value:"v";
+    let at = ref Time_ns.zero in
+    Database.commit db ~txn (fun _ -> at := Sim.now (Cluster.sim c));
+    Sim.run_until (Cluster.sim c) (Time_ns.sec 1);
+    !at
+  in
+  check_int "deterministic replay" (run cluster) (run c2)
+
+let test_e3_exact () =
+  let r = E.E3.run () in
+  let e1, e2, e3 = r.E.E3.expected in
+  check_int "pg1" e1 r.E.E3.pg1_pgcl;
+  check_int "pg2" e2 r.E.E3.pg2_pgcl;
+  check_int "vcl" e3 r.E.E3.vcl
+
+let test_scheme_rules_safe () =
+  List.iter
+    (fun layout ->
+      let _, rule = E.scheme_rule layout in
+      check_bool "overlap" true
+        (Quorum_set.overlaps ~read:rule.Quorum_set.Rule.read
+           ~write:rule.Quorum_set.Rule.write))
+    [ Cluster.V6; Cluster.V3; Cluster.Tiered ]
+
+let test_trace () =
+  let tr = Trace.create ~capacity:3 () in
+  Trace.record tr ~at:(Time_ns.ms 1) "dropped (disabled)";
+  check_int "disabled = no-op" 0 (Trace.length tr);
+  Trace.enable tr;
+  for i = 1 to 5 do
+    Trace.recordf tr ~at:(Time_ns.ms i) "event %d" i
+  done;
+  check_int "ring keeps capacity" 3 (Trace.length tr);
+  (match Trace.events tr with
+  | (_, m) :: _ -> Alcotest.(check string) "oldest survivor" "event 3" m
+  | [] -> Alcotest.fail "empty");
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.length tr)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
+      ( "cluster",
+        [ Alcotest.test_case "assembly + determinism" `Slow test_cluster_assembly ]
+      );
+      ( "experiments",
+        [
+          Alcotest.test_case "E3 figure exact" `Quick test_e3_exact;
+          Alcotest.test_case "scheme rules safe" `Quick test_scheme_rules_safe;
+        ] );
+      ("trace", [ Alcotest.test_case "ring buffer" `Quick test_trace ]);
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the storage substrate: block store, segments, disk, S3, and
+   storage-node actors over the simulated network. *)
+open Simcore
+open Wal
+open Quorum
+module Protocol = Storage.Protocol
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let lsn = Lsn.of_int
+let blk = Block_id.of_int
+let txn = Txn_id.of_int
+
+let put ~l ?(prev = Lsn.none) ?(prev_block = Lsn.none) ?(t = 1) ~block key value =
+  Log_record.make ~lsn:(lsn l) ~prev_volume:(lsn (l - 1)) ~prev_segment:prev
+    ~prev_block ~block:(blk block) ~txn:(txn t) ~mtr_id:l ~mtr_end:true
+    ~op:(Log_record.Put { key; value })
+
+(* ---- Block_store ---- *)
+
+let test_block_store_versions () =
+  let s = Storage.Block_store.create () in
+  Storage.Block_store.apply s (put ~l:1 ~block:0 "a" "v1");
+  Storage.Block_store.apply s (put ~l:2 ~prev_block:(lsn 1) ~t:2 ~block:0 "a" "v2");
+  let vs = Storage.Block_store.versions s (blk 0) ~key:"a" in
+  check_int "two versions" 2 (List.length vs);
+  (match vs with
+  | v :: _ -> check_int "newest first" 2 (Lsn.to_int v.Storage.Block_store.lsn)
+  | [] -> Alcotest.fail "no versions");
+  check_int "applied_upto" 2 (Lsn.to_int (Storage.Block_store.applied_upto s))
+
+let test_block_store_read_at () =
+  let s = Storage.Block_store.create () in
+  Storage.Block_store.apply s (put ~l:1 ~block:0 "a" "v1");
+  Storage.Block_store.apply s (put ~l:5 ~prev_block:(lsn 1) ~t:2 ~block:0 "a" "v2");
+  let at l =
+    match
+      Storage.Block_store.read_at s (blk 0) ~key:"a" ~as_of:(lsn l)
+        ~exclude:Txn_id.Set.empty
+    with
+    | Some v -> v.Storage.Block_store.value
+    | None -> None
+  in
+  Alcotest.(check (option string)) "old view" (Some "v1") (at 3);
+  Alcotest.(check (option string)) "new view" (Some "v2") (at 5);
+  Alcotest.(check (option string)) "before everything" None (at 0);
+  (* Exclusion backs out a transaction (undo semantics). *)
+  (match
+     Storage.Block_store.read_at s (blk 0) ~key:"a" ~as_of:(lsn 5)
+       ~exclude:(Txn_id.Set.singleton (txn 2))
+   with
+  | Some v -> Alcotest.(check (option string)) "excluded" (Some "v1") v.Storage.Block_store.value
+  | None -> Alcotest.fail "expected v1")
+
+let test_block_store_gc () =
+  let s = Storage.Block_store.create () in
+  for i = 1 to 5 do
+    Storage.Block_store.apply s
+      (put ~l:i ~prev_block:(if i = 1 then Lsn.none else lsn (i - 1)) ~block:0
+         "a" (Printf.sprintf "v%d" i))
+  done;
+  (* Floor at 3: versions 1,2 superseded by the committed version 3 ->
+     collected. *)
+  let dropped =
+    Storage.Block_store.gc s ~keep_at_or_above:(lsn 3) ~is_committed:(fun _ -> true)
+  in
+  check_int "collected" 2 dropped;
+  check_int "remaining" 3 (List.length (Storage.Block_store.versions s (blk 0) ~key:"a"));
+  (* The floor's visible version survives. *)
+  (match
+     Storage.Block_store.read_at s (blk 0) ~key:"a" ~as_of:(lsn 3)
+       ~exclude:Txn_id.Set.empty
+   with
+  | Some v -> Alcotest.(check (option string)) "floor view" (Some "v3") v.Storage.Block_store.value
+  | None -> Alcotest.fail "floor version collected");
+  (* Uncommitted versions never anchor the cut: with nothing committed,
+     GC collects nothing. *)
+  let s2 = Storage.Block_store.create () in
+  for i = 1 to 4 do
+    Storage.Block_store.apply s2
+      (put ~l:i ~prev_block:(if i = 1 then Lsn.none else lsn (i - 1)) ~block:0
+         "a" (Printf.sprintf "v%d" i))
+  done;
+  check_int "conservative without commit info" 0
+    (Storage.Block_store.gc s2 ~keep_at_or_above:(lsn 4)
+       ~is_committed:(fun _ -> false))
+
+let test_block_store_rollback () =
+  let s = Storage.Block_store.create () in
+  for i = 1 to 5 do
+    Storage.Block_store.apply s
+      (put ~l:i ~prev_block:(if i = 1 then Lsn.none else lsn (i - 1)) ~block:0
+         "a" (Printf.sprintf "v%d" i))
+  done;
+  let dropped = Storage.Block_store.rollback_above s (lsn 2) in
+  check_int "rolled back" 3 dropped;
+  check_int "applied clamped" 2 (Lsn.to_int (Storage.Block_store.applied_upto s))
+
+let test_block_store_scrub () =
+  let s = Storage.Block_store.create () in
+  Storage.Block_store.apply s (put ~l:1 ~block:0 "a" "v1");
+  check_bool "clean verifies" true (Storage.Block_store.verify s (blk 0));
+  check_bool "corruption injected" true (Storage.Block_store.corrupt s (blk 0));
+  check_bool "detected" false (Storage.Block_store.verify s (blk 0));
+  (* Repair by reloading a good snapshot. *)
+  let good = Storage.Block_store.create () in
+  Storage.Block_store.apply good (put ~l:1 ~block:0 "a" "v1");
+  Storage.Block_store.load_snapshot s (blk 0)
+    (Storage.Block_store.block_snapshot good (blk 0));
+  check_bool "repaired" true (Storage.Block_store.verify s (blk 0))
+
+(* ---- Disk ---- *)
+
+let test_disk_fifo () =
+  let sim = Sim.create () in
+  let rng = Rng.create 1 in
+  let d =
+    Storage.Disk.create ~sim ~rng ~service:(Distribution.constant (Time_ns.us 100))
+      ~per_byte_ns:10
+  in
+  let log = ref [] in
+  Storage.Disk.submit d ~bytes:100 (fun () -> log := 1 :: !log);
+  Storage.Disk.submit d ~bytes:100 (fun () -> log := 2 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "fifo" [ 1; 2 ] (List.rev !log);
+  (* Two ops of 100us + 1us transfer each, serialized. *)
+  check_int "completion time" (Time_ns.us 202) (Sim.now sim);
+  check_int "completed" 2 (Storage.Disk.completed d)
+
+(* ---- Segment ---- *)
+
+let make_segment ?(kind = Membership.Full) () =
+  Storage.Segment.create ~pg:(Storage.Pg_id.of_int 0) ~seg:(Member_id.of_int 0) ~kind
+
+let chain n =
+  List.init n (fun i ->
+      let l = i + 1 in
+      put ~l ~prev:(if l = 1 then Lsn.none else lsn (l - 1)) ~block:(l mod 3)
+        (Printf.sprintf "k%d" (l mod 3))
+        (Printf.sprintf "v%d" l))
+
+let test_segment_insert_coalesce_read () =
+  let s = make_segment () in
+  ignore (Storage.Segment.insert_records s (chain 6) : Lsn.t);
+  check_int "scl" 6 (Lsn.to_int (Storage.Segment.scl s));
+  check_int "coalesced" 6 (Storage.Segment.coalesce s);
+  check_int "coalesced point" 6 (Lsn.to_int (Storage.Segment.coalesced_upto s));
+  Storage.Segment.note_pgcl s (lsn 6);
+  match Storage.Segment.read_block s ~block:(blk 0) ~as_of:(lsn 6) with
+  | Ok img ->
+    check_bool "has key" true
+      (List.exists (fun (k, _) -> k = "k0") img.Protocol.image_entries)
+  | Error e -> Alcotest.failf "read failed: %a" Protocol.pp_read_error e
+
+let test_segment_read_acceptance () =
+  let s = make_segment () in
+  ignore (Storage.Segment.insert_records s (chain 4) : Lsn.t);
+  Storage.Segment.note_pgcl s (lsn 4);
+  (* as_of beyond SCL while the group's durable point says records exist
+     there this segment lacks: refused. *)
+  Storage.Segment.note_pgcl s (lsn 9);
+  (match Storage.Segment.read_block s ~block:(blk 0) ~as_of:(lsn 9) with
+  | Error (Protocol.Beyond_scl _) -> ()
+  | _ -> Alcotest.fail "expected Beyond_scl");
+  (* Fresh segment: as_of beyond SCL but PGCL proves the group has no
+     records between SCL and as_of -> served. *)
+  let s = make_segment () in
+  ignore (Storage.Segment.insert_records s (chain 4) : Lsn.t);
+  Storage.Segment.note_pgcl s (lsn 4);
+  (match Storage.Segment.read_block s ~block:(blk 1) ~as_of:(lsn 9) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unexpected: %a" Protocol.pp_read_error e);
+  (* Tail segments never serve blocks. *)
+  let t = make_segment ~kind:Membership.Tail () in
+  ignore (Storage.Segment.insert_records t (chain 4) : Lsn.t);
+  match Storage.Segment.read_block t ~block:(blk 0) ~as_of:(lsn 2) with
+  | Error Protocol.Tail_segment -> ()
+  | _ -> Alcotest.fail "expected Tail_segment"
+
+let test_segment_epochs () =
+  let s = make_segment () in
+  let e v m = { Protocol.volume = Epoch.of_int v; membership = Epoch.of_int m } in
+  (match Storage.Segment.check_epochs s (e 1 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "initial epochs rejected");
+  (* Higher volume epoch adopted; the old one then fenced. *)
+  (match Storage.Segment.check_epochs s (e 3 1) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "new epoch rejected");
+  (match Storage.Segment.check_epochs s (e 1 1) with
+  | Error (Protocol.Stale_volume_epoch cur) ->
+    check_int "current reported" 3 (Epoch.to_int cur)
+  | _ -> Alcotest.fail "stale volume epoch accepted");
+  Storage.Segment.install_membership s ~epoch:(Epoch.of_int 2) ~peers:[];
+  match Storage.Segment.check_epochs s (e 3 1) with
+  | Error (Protocol.Stale_membership_epoch _) -> ()
+  | _ -> Alcotest.fail "stale membership epoch accepted"
+
+let test_segment_truncate () =
+  let s = make_segment () in
+  ignore (Storage.Segment.insert_records s (chain 8) : Lsn.t);
+  ignore (Storage.Segment.coalesce s : int);
+  let dropped = Storage.Segment.truncate s ~above:(lsn 5) ~upto:(lsn 100) in
+  check_bool "dropped records and versions" true (dropped > 0);
+  check_int "scl" 5 (Lsn.to_int (Storage.Segment.scl s));
+  check_int "coalesced rolled back" 5 (Lsn.to_int (Storage.Segment.coalesced_upto s))
+
+let test_segment_hydrate_roundtrip () =
+  let donor = make_segment () in
+  ignore (Storage.Segment.insert_records donor (chain 10) : Lsn.t);
+  ignore (Storage.Segment.coalesce donor : int);
+  let records, blocks = Storage.Segment.hydrate_export donor ~since:Lsn.none ~want_blocks:true in
+  check_int "all records" 10 (List.length records);
+  check_bool "blocks included" true (blocks <> []);
+  let fresh = make_segment () in
+  Storage.Segment.hydrate_import fresh ~records ~blocks
+    ~donor_scl:(Storage.Segment.scl donor)
+    ~coalesced:(Storage.Segment.coalesced_upto donor);
+  check_int "scl matches donor" 10 (Lsn.to_int (Storage.Segment.scl fresh));
+  Storage.Segment.note_pgcl fresh (lsn 10);
+  match Storage.Segment.read_block fresh ~block:(blk 1) ~as_of:(lsn 10) with
+  | Ok img -> check_bool "readable" true (img.Protocol.image_entries <> [])
+  | Error e -> Alcotest.failf "read failed: %a" Protocol.pp_read_error e
+
+let test_segment_hydrate_from_gced_donor () =
+  (* Donor whose hot log was fully collected: hydration must still hand
+     over the chain position (anchor = donor SCL) and blocks. *)
+  let donor = make_segment () in
+  ignore (Storage.Segment.insert_records donor (chain 10) : Lsn.t);
+  ignore (Storage.Segment.coalesce donor : int);
+  Storage.Segment.set_backup_upto donor (lsn 10);
+  ignore (Storage.Segment.advance_pgmrpl donor (lsn 10) : int);
+  ignore (Storage.Segment.gc_hot_log donor : int);
+  let records, blocks =
+    Storage.Segment.hydrate_export donor ~since:Lsn.none ~want_blocks:true
+  in
+  check_int "nothing retained" 0 (List.length records);
+  let fresh = make_segment () in
+  Storage.Segment.hydrate_import fresh ~records ~blocks
+    ~donor_scl:(Storage.Segment.scl donor)
+    ~coalesced:(Storage.Segment.coalesced_upto donor);
+  check_int "adopted donor chain position" 10
+    (Lsn.to_int (Storage.Segment.scl fresh));
+  check_bool "blocks installed" true
+    (Storage.Block_store.blocks (Storage.Segment.store fresh) <> [])
+
+let test_segment_txn_statuses () =
+  let s = make_segment () in
+  let commit =
+    Log_record.make ~lsn:(lsn 1) ~prev_volume:Lsn.none ~prev_segment:Lsn.none
+      ~prev_block:Lsn.none ~block:(blk 0) ~txn:(txn 7) ~mtr_id:1 ~mtr_end:true
+      ~op:Log_record.Commit
+  in
+  ignore (Storage.Segment.insert_records s [ commit ] : Lsn.t);
+  (match Storage.Segment.txn_statuses s with
+  | [ (t7, l, false) ] ->
+    check_int "txn" 7 (Txn_id.to_int t7);
+    check_int "scn" 1 (Lsn.to_int l)
+  | _ -> Alcotest.fail "expected one commit status");
+  Storage.Segment.merge_statuses s [ (txn 9, lsn 3, true) ];
+  check_int "merged" 2 (List.length (Storage.Segment.txn_statuses s))
+
+(* ---- Storage node over network ---- *)
+
+let node_fixture () =
+  let sim = Sim.create () in
+  let rng = Rng.create 42 in
+  let net =
+    Simnet.Net.create ~sim ~rng:(Rng.split rng)
+      ~default_latency:(Distribution.constant (Time_ns.us 100)) ()
+  in
+  let s3 =
+    Storage.S3.create ~sim ~latency:(Distribution.constant (Time_ns.ms 1))
+      ~rng:(Rng.split rng)
+  in
+  (sim, rng, net, s3)
+
+let epochs1 = { Protocol.volume = Epoch.initial; membership = Epoch.initial }
+
+let test_node_write_ack () =
+  let sim, rng, net, s3 = node_fixture () in
+  let addr = Simnet.Addr.of_int 1 and client = Simnet.Addr.of_int 0 in
+  let node =
+    Storage.Storage_node.create ~sim ~rng ~net ~addr ~s3
+      ~config:Storage.Storage_node.default_config ()
+  in
+  Storage.Storage_node.add_segment node (make_segment ());
+  Storage.Storage_node.start node;
+  let acks = ref [] in
+  Simnet.Net.register net client (fun env ->
+      match env.Simnet.Net.msg with
+      | Protocol.Write_ack { scl; _ } -> acks := Lsn.to_int scl :: !acks
+      | _ -> ());
+  Simnet.Net.send net ~src:client ~dst:addr
+    (Protocol.Write_batch
+       {
+         pg = Storage.Pg_id.of_int 0;
+         seg = Member_id.of_int 0;
+         records = chain 3;
+         pgcl = Lsn.none;
+         epochs = epochs1;
+       });
+  Sim.run_until sim (Time_ns.ms 10);
+  Alcotest.(check (list int)) "ack carries SCL" [ 3 ] !acks
+
+let test_node_gossip_fills_hole () =
+  let sim, rng, net, s3 = node_fixture () in
+  let a1 = Simnet.Addr.of_int 1 and a2 = Simnet.Addr.of_int 2 in
+  let mk addr seg_id =
+    let node =
+      Storage.Storage_node.create ~sim ~rng:(Rng.split rng) ~net ~addr ~s3
+        ~config:Storage.Storage_node.default_config ()
+    in
+    let seg =
+      Storage.Segment.create ~pg:(Storage.Pg_id.of_int 0)
+        ~seg:(Member_id.of_int seg_id) ~kind:Membership.Full
+    in
+    Storage.Segment.set_peers seg [ (Member_id.of_int 0, a1); (Member_id.of_int 1, a2) ];
+    Storage.Storage_node.add_segment node seg;
+    Storage.Storage_node.start node;
+    (node, seg)
+  in
+  let _, seg1 = mk a1 0 in
+  let _, seg2 = mk a2 1 in
+  (* Node 1 has the full chain; node 2 has a hole (missing record 2). *)
+  let records = chain 5 in
+  ignore (Storage.Segment.insert_records seg1 records : Lsn.t);
+  ignore
+    (Storage.Segment.insert_records seg2
+       (List.filter (fun (r : Log_record.t) -> Lsn.to_int r.lsn <> 2) records)
+      : Lsn.t);
+  check_int "hole blocks SCL" 1 (Lsn.to_int (Storage.Segment.scl seg2));
+  Sim.run_until sim (Time_ns.sec 2);
+  check_int "gossip filled the hole" 5 (Lsn.to_int (Storage.Segment.scl seg2))
+
+let test_node_crash_restart () =
+  let sim, rng, net, s3 = node_fixture () in
+  let addr = Simnet.Addr.of_int 1 and client = Simnet.Addr.of_int 0 in
+  let node =
+    Storage.Storage_node.create ~sim ~rng ~net ~addr ~s3
+      ~config:Storage.Storage_node.default_config ()
+  in
+  let seg = make_segment () in
+  Storage.Storage_node.add_segment node seg;
+  Storage.Storage_node.start node;
+  ignore (Storage.Segment.insert_records seg (chain 3) : Lsn.t);
+  Storage.Storage_node.crash node;
+  let got_reply = ref false in
+  Simnet.Net.register net client (fun _ -> got_reply := true);
+  Simnet.Net.send net ~src:client ~dst:addr
+    (Protocol.Scl_probe
+       { req = 0; pg = Storage.Pg_id.of_int 0; seg = Member_id.of_int 0; epochs = epochs1 });
+  Sim.run_until sim (Time_ns.ms 10);
+  check_bool "down node silent" false !got_reply;
+  Storage.Storage_node.restart node;
+  check_int "durable state survives crash" 3 (Lsn.to_int (Storage.Segment.scl seg));
+  Simnet.Net.send net ~src:client ~dst:addr
+    (Protocol.Scl_probe
+       { req = 0; pg = Storage.Pg_id.of_int 0; seg = Member_id.of_int 0; epochs = epochs1 });
+  Sim.run_until sim (Time_ns.ms 20);
+  check_bool "restarted node answers" true !got_reply
+
+let test_s3_backup () =
+  let sim, _, _, s3 = node_fixture () in
+  let durable = ref false in
+  Storage.S3.upload s3
+    {
+      Storage.S3.pg = Storage.Pg_id.of_int 0;
+      seg = Member_id.of_int 0;
+      upto = lsn 10;
+      bytes = 1000;
+      taken_at = Sim.now sim;
+    }
+    ~on_durable:(fun () -> durable := true);
+  check_int "in flight" 1 (Storage.S3.uploads_in_flight s3);
+  Sim.run sim;
+  check_bool "durable" true !durable;
+  check_int "coverage" 10
+    (Lsn.to_int (Storage.S3.durable_upto s3 (Storage.Pg_id.of_int 0) (Member_id.of_int 0)))
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "block_store",
+        [
+          Alcotest.test_case "version chains" `Quick test_block_store_versions;
+          Alcotest.test_case "mvcc read_at" `Quick test_block_store_read_at;
+          Alcotest.test_case "gc keeps floor version" `Quick test_block_store_gc;
+          Alcotest.test_case "rollback_above" `Quick test_block_store_rollback;
+          Alcotest.test_case "checksum scrub" `Quick test_block_store_scrub;
+        ] );
+      ("disk", [ Alcotest.test_case "fifo queueing" `Quick test_disk_fifo ]);
+      ( "segment",
+        [
+          Alcotest.test_case "insert/coalesce/read" `Quick
+            test_segment_insert_coalesce_read;
+          Alcotest.test_case "read acceptance" `Quick test_segment_read_acceptance;
+          Alcotest.test_case "epoch fencing" `Quick test_segment_epochs;
+          Alcotest.test_case "truncate" `Quick test_segment_truncate;
+          Alcotest.test_case "hydrate roundtrip" `Quick test_segment_hydrate_roundtrip;
+          Alcotest.test_case "hydrate from GCed donor" `Quick
+            test_segment_hydrate_from_gced_donor;
+          Alcotest.test_case "txn statuses" `Quick test_segment_txn_statuses;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "write -> ack with SCL" `Quick test_node_write_ack;
+          Alcotest.test_case "gossip fills hole" `Quick test_node_gossip_fills_hole;
+          Alcotest.test_case "crash/restart" `Quick test_node_crash_restart;
+          Alcotest.test_case "s3 backup" `Quick test_s3_backup;
+        ] );
+    ]

@@ -1,0 +1,89 @@
+(* Tests for the workload generators. *)
+open Simcore
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_zipf_bounds () =
+  let z = Workload.Zipf.create ~n:100 ~theta:0.9 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Workload.Zipf.sample z rng in
+    check_bool "in range" true (v >= 0 && v < 100)
+  done
+
+let test_zipf_skew () =
+  let z = Workload.Zipf.create ~n:1000 ~theta:0.99 in
+  let rng = Rng.create 5 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let v = Workload.Zipf.sample z rng in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "rank 0 hottest" true (counts.(0) > counts.(10));
+  check_bool "heavy head" true (counts.(0) > 50_000 / 20)
+
+let test_zipf_uniform () =
+  let z = Workload.Zipf.create ~n:10 ~theta:0. in
+  let rng = Rng.create 7 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    counts.(Workload.Zipf.sample z rng) <- counts.(Workload.Zipf.sample z rng) + 1
+  done;
+  Array.iter (fun c -> check_bool "roughly uniform" true (c > 1500 && c < 2500)) counts
+
+let test_txn_gen_closed_loop () =
+  let cluster = Harness.Cluster.create Harness.Cluster.default_config in
+  let sim = Harness.Cluster.sim cluster in
+  let gen =
+    Workload.Txn_gen.create ~sim ~rng:(Rng.create 11)
+      ~db:(Harness.Cluster.db cluster)
+      ~profile:Workload.Txn_gen.default_profile ()
+  in
+  Workload.Txn_gen.run_closed_loop gen ~clients:4
+    ~think_time:(Distribution.constant (Time_ns.ms 1))
+    ~duration:(Time_ns.sec 1);
+  Sim.run_until sim (Time_ns.sec 3);
+  check_bool "issued plenty" true (Workload.Txn_gen.issued gen > 50);
+  check_int "all acked" (Workload.Txn_gen.issued gen) (Workload.Txn_gen.acked gen);
+  check_int "none failed" 0 (Workload.Txn_gen.failed gen);
+  check_int "no unacked writes left" 0
+    (List.length (Workload.Txn_gen.unacked_writes gen));
+  check_bool "latency recorded" true
+    (Simcore.Histogram.count (Workload.Txn_gen.commit_latency gen) > 0);
+  (* The issue-order log tags every write of an acked txn as acked. *)
+  check_bool "issue-order log consistent" true
+    (List.for_all (fun (_, _, acked) -> acked)
+       (Workload.Txn_gen.writes_in_issue_order gen))
+
+let test_txn_gen_open_loop_rate () =
+  let cluster =
+    Harness.Cluster.create { Harness.Cluster.default_config with seed = 5 }
+  in
+  let sim = Harness.Cluster.sim cluster in
+  let gen =
+    Workload.Txn_gen.create ~sim ~rng:(Rng.create 13)
+      ~db:(Harness.Cluster.db cluster)
+      ~profile:{ Workload.Txn_gen.default_profile with ops_per_txn = 1; write_fraction = 1. }
+      ()
+  in
+  Workload.Txn_gen.run_open_loop gen ~rate_per_sec:1000. ~duration:(Time_ns.sec 2);
+  Sim.run_until sim (Time_ns.sec 4);
+  let issued = Workload.Txn_gen.issued gen in
+  check_bool "roughly 2000 arrivals" true (issued > 1700 && issued < 2300)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "uniform at theta=0" `Quick test_zipf_uniform;
+        ] );
+      ( "txn_gen",
+        [
+          Alcotest.test_case "closed loop" `Slow test_txn_gen_closed_loop;
+          Alcotest.test_case "open loop rate" `Slow test_txn_gen_open_loop_rate;
+        ] );
+    ]
