@@ -4,7 +4,8 @@
      dune exec bin/aurora_cli.exe -- exp e6 --seed 7
      dune exec bin/aurora_cli.exe -- exp all
      dune exec bin/aurora_cli.exe -- bench
-     dune exec bin/aurora_cli.exe -- smoke --txns 2000 --pgs 4 *)
+     dune exec bin/aurora_cli.exe -- smoke --txns 2000 --pgs 4
+     dune exec bin/aurora_cli.exe -- obs --json --trace-tail 20 *)
 
 open Cmdliner
 module E = Harness.Experiments
@@ -45,45 +46,175 @@ let exp_cmd =
        ~doc:"Regenerate a figure/claim of the paper (see DESIGN.md \xc2\xa74)")
     Term.(const run_experiment $ name_arg $ seed_arg)
 
-let run_smoke txns pgs seed =
+(* Shared smoke workload: an open-loop transaction mix against a default
+   cluster, run to quiescence. *)
+let run_workload ~txns ~pgs ~seed ~tracing =
   let open Simcore in
-  let module Database = Aurora_core.Database in
   let cluster =
     Harness.Cluster.create { Harness.Cluster.default_config with seed; n_pgs = pgs }
   in
+  if tracing then Obs.Ctx.enable_tracing (Harness.Cluster.obs cluster);
   let sim = Harness.Cluster.sim cluster in
-  let db = Harness.Cluster.db cluster in
   let gen =
-    Workload.Txn_gen.create ~sim ~rng:(Rng.create (seed + 1)) ~db
+    Workload.Txn_gen.create ~sim ~rng:(Rng.create (seed + 1))
+      ~db:(Harness.Cluster.db cluster)
       ~profile:Workload.Txn_gen.default_profile ()
   in
   Workload.Txn_gen.run_open_loop gen ~rate_per_sec:2000.
     ~duration:(Time_ns.us (txns * 500));
   Sim.run_until sim (Time_ns.add (Time_ns.us (txns * 500)) (Time_ns.sec 2));
-  let m = Database.metrics db in
-  Printf.printf "txns: issued=%d acked=%d failed=%d\n"
-    (Workload.Txn_gen.issued gen)
-    (Workload.Txn_gen.acked gen)
-    (Workload.Txn_gen.failed gen);
-  Printf.printf "commit latency: p50=%s p99=%s\n"
-    (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 50.))
-    (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 99.));
-  Printf.printf "reads: cache hits=%d storage=%d\n" m.Database.cache_hit_reads
-    m.Database.storage_reads;
-  Printf.printf "VCL=%d VDL=%d records=%d\n"
-    (Wal.Lsn.to_int (Database.vcl db))
-    (Wal.Lsn.to_int (Database.vdl db))
-    m.Database.records_written;
-  let st = Simnet.Net.stats (Harness.Cluster.net cluster) in
-  Printf.printf "network: sent=%d delivered=%d bytes=%d\n" st.Simnet.Net.sent
-    st.Simnet.Net.delivered st.Simnet.Net.bytes_sent
+  (cluster, gen)
+
+let print_snapshot ~json cluster ~where ~trace_tail =
+  let open Simcore in
+  let obs = Harness.Cluster.obs cluster in
+  let where = match where with [] -> None | w -> Some w in
+  let snap =
+    Obs.Ctx.snapshot_at
+      ~at:(Sim.now (Harness.Cluster.sim cluster))
+      ?where ?trace_tail obs
+  in
+  if json then print_endline (Obs.Json.to_string ~pretty:true snap)
+  else begin
+    (match snap with
+    | Obs.Json.Obj fields -> (
+      match List.assoc_opt "instruments" fields with
+      | Some (Obs.Json.List instruments) ->
+        List.iter
+          (fun inst ->
+            match inst with
+            | Obs.Json.Obj f ->
+              let str k =
+                match List.assoc_opt k f with
+                | Some (Obs.Json.String s) -> s
+                | _ -> ""
+              in
+              let labels =
+                match List.assoc_opt "labels" f with
+                | Some (Obs.Json.Obj l) ->
+                  if l = [] then ""
+                  else
+                    "{"
+                    ^ String.concat ","
+                        (List.map
+                           (fun (k, v) ->
+                             match v with
+                             | Obs.Json.String s -> k ^ "=" ^ s
+                             | j -> k ^ "=" ^ Obs.Json.to_string j)
+                           l)
+                    ^ "}"
+                | _ -> ""
+              in
+              let num k =
+                match List.assoc_opt k f with
+                | Some j -> Obs.Json.to_string j
+                | None -> "-"
+              in
+              if str "type" = "histogram" then
+                let h k =
+                  match List.assoc_opt "histogram" f with
+                  | Some (Obs.Json.Obj hf) -> (
+                    match List.assoc_opt k hf with
+                    | Some j -> Obs.Json.to_string j
+                    | None -> "-")
+                  | _ -> "-"
+                in
+                Printf.printf "%s%s  count=%s mean=%s p50=%s p99=%s max=%s\n"
+                  (str "name") labels (h "count") (h "mean") (h "p50")
+                  (h "p99") (h "max")
+              else
+                Printf.printf "%s%s = %s\n" (str "name") labels (num "value")
+            | _ -> ())
+          instruments
+      | _ -> ())
+    | _ -> ());
+    match trace_tail with
+    | None -> ()
+    | Some n ->
+      Printf.printf "-- trace (last %d events) --\n" n;
+      List.iter
+        (fun ev -> Format.printf "%a@." Obs.Trace.pp_event ev)
+        (Obs.Trace.tail (Obs.Ctx.trace obs) n)
+  end
+
+let run_smoke txns pgs seed json =
+  let open Simcore in
+  let module Database = Aurora_core.Database in
+  let cluster, gen = run_workload ~txns ~pgs ~seed ~tracing:false in
+  if json then print_snapshot ~json:true cluster ~where:[] ~trace_tail:None
+  else begin
+    let db = Harness.Cluster.db cluster in
+    let m = Database.metrics db in
+    Printf.printf "txns: issued=%d acked=%d failed=%d\n"
+      (Workload.Txn_gen.issued gen)
+      (Workload.Txn_gen.acked gen)
+      (Workload.Txn_gen.failed gen);
+    Printf.printf "commit latency: p50=%s p99=%s\n"
+      (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 50.))
+      (Time_ns.to_string (Histogram.percentile m.Database.commit_latency 99.));
+    Printf.printf "reads: cache hits=%d storage=%d\n" m.Database.cache_hit_reads
+      m.Database.storage_reads;
+    Printf.printf "VCL=%d VDL=%d records=%d\n"
+      (Wal.Lsn.to_int (Database.vcl db))
+      (Wal.Lsn.to_int (Database.vdl db))
+      m.Database.records_written;
+    let st = Simnet.Net.stats (Harness.Cluster.net cluster) in
+    Printf.printf "network: sent=%d delivered=%d bytes=%d\n" st.Simnet.Net.sent
+      st.Simnet.Net.delivered st.Simnet.Net.bytes_sent
+  end
+
+let txns_arg =
+  Arg.(value & opt int 1000 & info [ "txns" ] ~doc:"Transactions.")
+
+let pgs_arg =
+  Arg.(value & opt int 2 & info [ "pgs" ] ~doc:"Protection groups.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics snapshot as JSON.")
 
 let smoke_cmd =
-  let txns = Arg.(value & opt int 1000 & info [ "txns" ] ~doc:"Transactions.") in
-  let pgs = Arg.(value & opt int 2 & info [ "pgs" ] ~doc:"Protection groups.") in
   Cmd.v
     (Cmd.info "smoke" ~doc:"Run a quick cluster workload and print metrics")
-    Term.(const run_smoke $ txns $ pgs $ seed_arg)
+    Term.(const run_smoke $ txns_arg $ pgs_arg $ seed_arg $ json_arg)
+
+let run_obs txns pgs seed json trace_tail pg az =
+  let cluster, _gen = run_workload ~txns ~pgs ~seed ~tracing:true in
+  let where =
+    (match pg with Some p -> [ ("pg", string_of_int p) ] | None -> [])
+    @ (match az with Some a -> [ ("az", a) ] | None -> [])
+  in
+  let trace_tail = if trace_tail > 0 then Some trace_tail else None in
+  print_snapshot ~json cluster ~where ~trace_tail
+
+let obs_cmd =
+  let trace_tail =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-tail" ] ~docv:"N" ~doc:"Include the last N trace events.")
+  in
+  let pg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pg" ] ~docv:"PG"
+          ~doc:"Keep only instruments of this protection group (plus globals).")
+  in
+  let az =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "az" ] ~docv:"AZ"
+          ~doc:"Keep only instruments of this availability zone, e.g. az1 \
+                (plus globals).")
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Run the smoke workload with commit-path tracing enabled and print \
+          the observability snapshot")
+    Term.(
+      const run_obs $ txns_arg $ pgs_arg $ seed_arg $ json_arg $ trace_tail
+      $ pg $ az)
 
 let bench_cmd =
   Cmd.v
@@ -100,4 +231,5 @@ let () =
         "Reproduction of 'Amazon Aurora: On Avoiding Distributed Consensus \
          for I/Os, Commits, and Membership Changes' (SIGMOD'18)"
   in
-  exit (Cmd.eval (Cmd.group ~default info [ exp_cmd; smoke_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group ~default info [ exp_cmd; smoke_cmd; obs_cmd; bench_cmd ]))

@@ -19,6 +19,7 @@ type t = {
   mutable vdl : Lsn.t;
   mutable vcl_watchers : (Lsn.t -> unit) list;
   mutable vdl_watchers : (Lsn.t -> unit) list;
+  mutable durable_watchers : (Pg_id.t -> Lsn.t -> unit) list;
 }
 
 let create () =
@@ -30,6 +31,7 @@ let create () =
     vdl = Lsn.none;
     vcl_watchers = [];
     vdl_watchers = [];
+    durable_watchers = [];
   }
 
 let register_pg t pg ~write_quorum =
@@ -71,7 +73,7 @@ let covering st lsn =
 (* Advance the group's PGCL: pop chain heads while the segments covering
    them satisfy the write quorum.  SCL coverage is antitone in LSN, so a
    failing head stops the scan. *)
-let advance_pgcl st =
+let advance_pgcl t pg st =
   let continue = ref true in
   while !continue do
     match Queue.peek_opt st.chain with
@@ -79,7 +81,8 @@ let advance_pgcl st =
     | Some lsn ->
       if Quorum_set.satisfied st.write_quorum (covering st lsn) then begin
         ignore (Queue.pop st.chain : Lsn.t);
-        st.pgcl <- lsn
+        st.pgcl <- lsn;
+        List.iter (fun f -> f pg lsn) t.durable_watchers
       end
       else continue := false
   done
@@ -123,7 +126,7 @@ let note_ack t ~pg ~seg ~scl =
   if Lsn.(scl > prev) then begin
     Member_id.Tbl.replace st.scls seg scl;
     let before = st.pgcl in
-    advance_pgcl st;
+    advance_pgcl t pg st;
     if Lsn.(st.pgcl > before) then advance_vcl t
   end
 
@@ -140,6 +143,7 @@ let segments_at_or_above t ~pg ~lsn = covering (pg_state t pg) lsn
 
 let on_vcl_advance t f = t.vcl_watchers <- f :: t.vcl_watchers
 let on_vdl_advance t f = t.vdl_watchers <- f :: t.vdl_watchers
+let on_record_durable t f = t.durable_watchers <- f :: t.durable_watchers
 let pending_submissions t = Queue.length t.volume_chain
 
 let restore t ~vcl ~vdl ~pg_points =

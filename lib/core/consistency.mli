@@ -60,6 +60,12 @@ val on_vcl_advance : t -> (Lsn.t -> unit) -> unit
 
 val on_vdl_advance : t -> (Lsn.t -> unit) -> unit
 
+val on_record_durable : t -> (Storage.Pg_id.t -> Lsn.t -> unit) -> unit
+(** Register a callback fired once per record the moment its group's PGCL
+    first covers it (write quorum met) — the per-record grain the
+    commit-path tracer needs, where {!on_vcl_advance} only reports the
+    volume-level watermark. *)
+
 val pending_submissions : t -> int
 (** Records submitted but not yet covered by VCL (in-flight window). *)
 

@@ -68,6 +68,11 @@ type t = {
   volume : Volume.t;
   config : config;
   metrics : metrics;
+  obs : Obs.Ctx.t;
+  (* commit-path tracing bookkeeping: per-group LSNs awaiting their first
+     storage ack, and LSNs awaiting VDL coverage, both in submit order *)
+  obs_unacked : Lsn.t Queue.t Pg_id.Tbl.t;
+  obs_vdl_pending : Lsn.t Queue.t;
   mutable consistency : Consistency.t;
   mutable cache : Buffer_cache.t;
   mutable txns : Txn_table.t;
@@ -97,6 +102,11 @@ type t = {
 
 let sim t = t.sim
 let addr t = t.addr
+let obs t = t.obs
+
+let mark_stage t ~lsn ?member stage =
+  Obs.Commit_path.mark (Obs.Ctx.commit_path t.obs) ~at:(Sim.now t.sim)
+    ~lsn:(Lsn.to_int lsn) ?member stage
 let volume t = t.volume
 let config t = t.config
 let consistency t = t.consistency
@@ -135,18 +145,32 @@ let epochs_for t (g : Volume.pg) =
 
 let install_consistency_hooks t =
   let c = t.consistency in
+  Consistency.on_record_durable c (fun _pg lsn ->
+      mark_stage t ~lsn Obs.Trace.Pgcl_advanced);
   Consistency.on_vcl_advance c (fun new_vcl ->
-      ignore (Commit_queue.drain t.commit_queue ~vcl:new_vcl : int);
+      (* Newly covered records are marked [Vcl_advanced] before the commit
+         queue drains, so a commit ack always sees its record's VCL stage
+         time — [vcl_advanced→commit_acked] is a marquee span. *)
       let continue = ref true in
       while !continue do
         match Queue.peek_opt t.inflight_records with
         | Some (lsn, at) when Lsn.(lsn <= new_vcl) ->
           ignore (Queue.pop t.inflight_records : Lsn.t * Time_ns.t);
           Histogram.record_span t.metrics.record_durable_latency at
-            (Sim.now t.sim)
+            (Sim.now t.sim);
+          mark_stage t ~lsn Obs.Trace.Vcl_advanced
         | Some _ | None -> continue := false
-      done);
+      done;
+      ignore (Commit_queue.drain t.commit_queue ~vcl:new_vcl : int));
   Consistency.on_vdl_advance c (fun new_vdl ->
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt t.obs_vdl_pending with
+        | Some lsn when Lsn.(lsn <= new_vdl) ->
+          ignore (Queue.pop t.obs_vdl_pending : Lsn.t);
+          mark_stage t ~lsn Obs.Trace.Vdl_advanced
+        | Some _ | None -> continue := false
+      done;
       (* Newly durable redo may unpin dirty blocks: apply cache pressure. *)
       Buffer_cache.evict_pressure t.cache ~vdl:new_vdl)
 
@@ -170,6 +194,10 @@ let boxcar_for t (g : Volume.pg) seg =
     let b =
       Boxcar.create ~sim:t.sim ~policy:t.config.boxcar ~flush:(fun records ->
           if t.open_ then begin
+            List.iter
+              (fun (r : Log_record.t) ->
+                mark_stage t ~lsn:r.lsn Obs.Trace.Boxcar_flushed)
+              records;
             match Member_id.Map.find_opt seg g.Volume.addr_of with
             | None -> ()
             | Some dst ->
@@ -181,15 +209,30 @@ let boxcar_for t (g : Volume.pg) seg =
                      records;
                      pgcl = Consistency.pgcl t.consistency g.Volume.id;
                      epochs = epochs_for t g;
-                   })
+                   });
+              List.iter
+                (fun (r : Log_record.t) ->
+                  mark_stage t ~lsn:r.lsn Obs.Trace.Net_sent)
+                records
           end)
     in
     Hashtbl.add t.boxcars key b;
     b
 
+let obs_unacked_queue t pg =
+  match Pg_id.Tbl.find_opt t.obs_unacked pg with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Pg_id.Tbl.add t.obs_unacked pg q;
+    q
+
 let submit_record t (record : Log_record.t) (g : Volume.pg) =
   Consistency.note_submitted t.consistency ~pg:g.Volume.id ~lsn:record.lsn
     ~mtr_end:record.mtr_end;
+  mark_stage t ~lsn:record.lsn Obs.Trace.Lsn_allocated;
+  Queue.push record.lsn (obs_unacked_queue t g.Volume.id);
+  Queue.push record.lsn t.obs_vdl_pending;
   Buffer_cache.apply t.cache record ~vdl:(vdl t);
   Queue.push record t.stream_queue;
   Queue.push (record.lsn, Sim.now t.sim) t.inflight_records;
@@ -303,6 +346,8 @@ let get t ?txn ~key callback =
   let from_storage () =
     t.metrics.storage_reads <- t.metrics.storage_reads + 1;
     let g = Volume.pg_of_block t.volume block in
+    Obs.Trace.read (Obs.Ctx.trace t.obs) ~at:(Sim.now t.sim)
+      ~pg:(Pg_id.to_int g.Volume.id) Obs.Trace.Read_tracked;
     let candidates = full_candidates t g ~as_of in
     track_view t as_of;
     Reader.read t.reader ~pg:g.Volume.id ~candidates ~block ~as_of
@@ -329,6 +374,8 @@ let get t ?txn ~key callback =
   match Buffer_cache.read t.cache block ~key with
   | Buffer_cache.Hit chain ->
     t.metrics.cache_hit_reads <- t.metrics.cache_hit_reads + 1;
+    Obs.Trace.read (Obs.Ctx.trace t.obs) ~at:(Sim.now t.sim) ~pg:(-1)
+      Obs.Trace.Read_cache_hit;
     callback (Ok (Read_view.value view ~commit_scn chain))
   | Buffer_cache.Partial chain -> (
     (* Blind-write block: only trust it if a visible version exists. *)
@@ -363,6 +410,7 @@ let commit t ~txn callback =
     Commit_queue.enqueue t.commit_queue ~txn ~scn ~on_ack:(fun () ->
         t.metrics.commit_acks <- t.metrics.commit_acks + 1;
         Histogram.record_span t.metrics.commit_latency started (Sim.now t.sim);
+        mark_stage t ~lsn:scn Obs.Trace.Commit_acked;
         callback (Ok ()))
 
 let abort t ~txn =
@@ -480,6 +528,13 @@ let after_membership_change t pg_id =
     (Volume.rule g).Quorum_set.Rule.write;
   broadcast_membership t pg_id
 
+let trace_membership t pg_id phase =
+  let g = Volume.find_pg t.volume pg_id in
+  Obs.Trace.membership (Obs.Ctx.trace t.obs) ~at:(Sim.now t.sim)
+    ~pg:(Pg_id.to_int pg_id)
+    ~epoch:(Epoch.to_int (Membership.epoch g.Volume.membership))
+    phase
+
 let begin_segment_replacement t pg_id ~suspect ~replacement ~replacement_addr =
   match
     Volume.begin_membership_change t.volume pg_id ~suspect ~replacement
@@ -487,6 +542,7 @@ let begin_segment_replacement t pg_id ~suspect ~replacement ~replacement_addr =
   with
   | Error _ as e -> e
   | Ok () ->
+    trace_membership t pg_id Obs.Trace.Change_begun;
     after_membership_change t pg_id;
     Ok ()
 
@@ -494,6 +550,7 @@ let commit_segment_replacement t pg_id ~suspect =
   match Volume.commit_membership_change t.volume pg_id ~suspect with
   | Error _ as e -> e
   | Ok () ->
+    trace_membership t pg_id Obs.Trace.Change_committed;
     after_membership_change t pg_id;
     Ok ()
 
@@ -501,6 +558,7 @@ let revert_segment_replacement t pg_id ~suspect =
   match Volume.revert_membership_change t.volume pg_id ~suspect with
   | Error _ as e -> e
   | Ok () ->
+    trace_membership t pg_id Obs.Trace.Change_reverted;
     after_membership_change t pg_id;
     Ok ()
 
@@ -514,6 +572,21 @@ let handle_message t (env : Protocol.t Simnet.Net.envelope) =
   if t.open_ then
     match env.msg with
     | Protocol.Write_ack { pg; seg; scl } ->
+      (* First covering ack per record: pop in submit order up to the
+         acked SCL.  Later (or reordered lower) acks find the queue
+         already drained past them — [Node_acked] is first-ack time. *)
+      (match Pg_id.Tbl.find_opt t.obs_unacked pg with
+      | None -> ()
+      | Some q ->
+        let member = Member_id.to_int seg in
+        let continue = ref true in
+        while !continue do
+          match Queue.peek_opt q with
+          | Some lsn when Lsn.(lsn <= scl) ->
+            ignore (Queue.pop q : Lsn.t);
+            mark_stage t ~lsn ~member Obs.Trace.Node_acked
+          | Some _ | None -> continue := false
+        done);
       Consistency.note_ack t.consistency ~pg ~seg ~scl
     | Protocol.Write_reject { reason; _ } -> (
       t.metrics.write_rejects <- t.metrics.write_rejects + 1;
@@ -552,7 +625,38 @@ let start_background t =
       end
       else false)
 
-let create ~sim ~rng ~net ~addr ~volume ~config () =
+let register_instruments t =
+  let reg = Obs.Ctx.registry t.obs in
+  let m = t.metrics in
+  let c ?labels name f = Obs.Registry.counter_fn reg ?labels name f in
+  c "db_txns_started" (fun () -> m.txns_started);
+  c "db_txns_committed" (fun () -> m.txns_committed);
+  c "db_txns_aborted" (fun () -> m.txns_aborted);
+  c "db_commit_acks" (fun () -> m.commit_acks);
+  c "db_puts" (fun () -> m.puts);
+  c "db_deletes" (fun () -> m.deletes);
+  c "db_gets" (fun () -> m.gets);
+  c "db_cache_hit_reads" (fun () -> m.cache_hit_reads);
+  c "db_storage_reads" (fun () -> m.storage_reads);
+  c "db_records_written" (fun () -> m.records_written);
+  c "db_write_rejects" (fun () -> m.write_rejects);
+  c "db_fenced" (fun () -> m.fenced);
+  c "db_vcl" (fun () -> Lsn.to_int (Consistency.vcl t.consistency));
+  c "db_vdl" (fun () -> Lsn.to_int (Consistency.vdl t.consistency));
+  Obs.Registry.gauge_fn reg "db_mean_batch_size" (fun () -> mean_batch_size t);
+  Obs.Registry.histogram_ref reg "db_commit_latency_ns" m.commit_latency;
+  Obs.Registry.histogram_ref reg "db_record_durable_latency_ns"
+    m.record_durable_latency;
+  List.iter
+    (fun (g : Volume.pg) ->
+      let pg = g.Volume.id in
+      c "pg_pgcl"
+        ~labels:[ ("pg", string_of_int (Pg_id.to_int pg)) ]
+        (fun () -> Lsn.to_int (Consistency.pgcl t.consistency pg)))
+    (Volume.pgs t.volume)
+
+let create ~sim ~rng ~net ~addr ~volume ~config ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.Ctx.create () in
   let t =
     {
       sim;
@@ -562,13 +666,16 @@ let create ~sim ~rng ~net ~addr ~volume ~config () =
       volume;
       config;
       metrics = fresh_metrics ();
+      obs;
+      obs_unacked = Pg_id.Tbl.create 8;
+      obs_vdl_pending = Queue.create ();
       consistency = Consistency.create ();
       cache = Buffer_cache.create ~capacity:config.cache_capacity;
       txns = Txn_table.create ();
       commit_queue = Commit_queue.create ();
       reader =
         Reader.create ~sim ~rng:(Rng.split rng) ~net ~my_addr:addr
-          ~strategy:config.read_strategy ();
+          ~strategy:config.read_strategy ~obs ();
       boxcars = Hashtbl.create 64;
       txn_last_block = Txn_id.Tbl.create 256;
       mtr_counter = 0;
@@ -585,6 +692,7 @@ let create ~sim ~rng ~net ~addr ~volume ~config () =
     }
   in
   fresh_consistency t;
+  register_instruments t;
   t
 
 let start t =
@@ -608,6 +716,9 @@ let crash t =
   Hashtbl.reset t.boxcars;
   Queue.clear t.stream_queue;
   Queue.clear t.inflight_records;
+  Pg_id.Tbl.reset t.obs_unacked;
+  Queue.clear t.obs_vdl_pending;
+  Obs.Commit_path.clear (Obs.Ctx.commit_path t.obs);
   Hashtbl.reset t.active_views;
   Txn_id.Tbl.reset t.txn_last_block
 
@@ -631,7 +742,7 @@ let rebuild_from_outcome t (o : Recovery.outcome) =
   t.commit_queue <- Commit_queue.create ();
   t.reader <-
     Reader.create ~sim:t.sim ~rng:(Rng.split t.rng) ~net:t.net ~my_addr:t.addr
-      ~strategy:t.config.read_strategy ();
+      ~strategy:t.config.read_strategy ~obs:t.obs ();
   t.last_commit_shipped <- o.vdl
 
 let recover t on_ready =
@@ -640,6 +751,7 @@ let recover t on_ready =
   Simnet.Net.set_up t.net t.addr;
   let r =
     Recovery.start ~sim:t.sim ~net:t.net ~my_addr:t.addr ~volume:t.volume
+      ~obs:t.obs
       ~on_done:(fun result ->
         (match result with
         | Ok outcome ->

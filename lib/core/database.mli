@@ -56,14 +56,20 @@ val create :
   addr:Simnet.Addr.t ->
   volume:Volume.t ->
   config:config ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   t
+(** [obs] wires the instance into a shared observability context: the
+    [db_*] instruments are registered and every submitted record is traced
+    through the commit-path stages.  A private context is created when
+    omitted, so standalone instances stay self-contained. *)
 
 val start : t -> unit
 (** Register on the network and begin serving (a fresh, empty volume). *)
 
 val sim : t -> Simcore.Sim.t
 val addr : t -> Simnet.Addr.t
+val obs : t -> Obs.Ctx.t
 val volume : t -> Volume.t
 val config : t -> config
 val consistency : t -> Consistency.t

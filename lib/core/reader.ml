@@ -45,29 +45,52 @@ type t = {
   pendings : (int, pending) Hashtbl.t;
   mutable next_req : int;
   metrics : metrics;
+  obs : Obs.Ctx.t option;
+  obs_labels : Obs.Registry.labels;
 }
 
-let create ~sim ~rng ~net ~my_addr ~strategy () =
-  {
-    sim;
-    rng;
-    net;
-    my_addr;
-    strategy;
-    ewma = Simnet.Addr.Tbl.create 16;
-    pendings = Hashtbl.create 64;
-    next_req = 0;
-    metrics =
-      {
-        reads = 0;
-        ios_issued = 0;
-        hedges = 0;
-        explores = 0;
-        retries = 0;
-        failures = 0;
-        latency = Histogram.create ();
-      };
-  }
+let register_instruments t =
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+    let reg = Obs.Ctx.registry obs in
+    let labels = t.obs_labels in
+    let m = t.metrics in
+    Obs.Registry.counter_fn reg ~labels "read_reads" (fun () -> m.reads);
+    Obs.Registry.counter_fn reg ~labels "read_ios_issued" (fun () -> m.ios_issued);
+    Obs.Registry.counter_fn reg ~labels "read_hedges" (fun () -> m.hedges);
+    Obs.Registry.counter_fn reg ~labels "read_explores" (fun () -> m.explores);
+    Obs.Registry.counter_fn reg ~labels "read_retries" (fun () -> m.retries);
+    Obs.Registry.counter_fn reg ~labels "read_failures" (fun () -> m.failures);
+    Obs.Registry.histogram_ref reg ~labels "read_latency_ns" m.latency
+
+let create ~sim ~rng ~net ~my_addr ~strategy ?obs ?(obs_labels = []) () =
+  let t =
+    {
+      sim;
+      rng;
+      net;
+      my_addr;
+      strategy;
+      ewma = Simnet.Addr.Tbl.create 16;
+      pendings = Hashtbl.create 64;
+      next_req = 0;
+      metrics =
+        {
+          reads = 0;
+          ios_issued = 0;
+          hedges = 0;
+          explores = 0;
+          retries = 0;
+          failures = 0;
+          latency = Histogram.create ();
+        };
+      obs;
+      obs_labels;
+    }
+  in
+  register_instruments t;
+  t
 
 let observed_latency t addr =
   match Simnet.Addr.Tbl.find_opt t.ewma addr with
@@ -132,7 +155,14 @@ let arm_hedge t p delay =
   ignore
     (Sim.schedule t.sim ~delay (fun () ->
          if (not p.done_) && Hashtbl.mem t.pendings p.req then
-           if issue_next t p then t.metrics.hedges <- t.metrics.hedges + 1))
+           if issue_next t p then begin
+             t.metrics.hedges <- t.metrics.hedges + 1;
+             match t.obs with
+             | Some obs ->
+               Obs.Trace.read (Obs.Ctx.trace obs) ~at:(Sim.now t.sim)
+                 ~pg:(Storage.Pg_id.to_int p.pg) Obs.Trace.Read_hedged
+             | None -> ()
+           end))
 
 let read t ~pg ~candidates ~block ~as_of ~epochs ~callback =
   t.metrics.reads <- t.metrics.reads + 1;

@@ -50,7 +50,39 @@ type t = {
   mutable generation : int;
 }
 
-let create ~sim ~rng ~net ~addr ~volume ~writer ~config () =
+let register_instruments ~obs ~addr metrics =
+  match obs with
+  | None -> ()
+  | Some obs ->
+    let reg = Obs.Ctx.registry obs in
+    let labels = [ ("node", string_of_int (Simnet.Addr.to_int addr)) ] in
+    let c name f = Obs.Registry.counter_fn reg ~labels name f in
+    c "replica_chunks_applied" (fun () -> metrics.chunks_applied);
+    c "replica_records_applied" (fun () -> metrics.records_applied);
+    c "replica_records_skipped" (fun () -> metrics.records_skipped);
+    c "replica_commits_seen" (fun () -> metrics.commits_seen);
+    c "replica_gets" (fun () -> metrics.gets);
+    c "replica_cache_hit_reads" (fun () -> metrics.cache_hit_reads);
+    c "replica_storage_reads" (fun () -> metrics.storage_reads);
+    c "replica_stale_streams_dropped" (fun () -> metrics.stale_streams_dropped);
+    Obs.Registry.histogram_ref reg ~labels "replica_stream_lag_ns"
+      metrics.stream_lag
+
+let create ~sim ~rng ~net ~addr ~volume ~writer ~config ?obs () =
+  let metrics =
+    {
+      chunks_applied = 0;
+      records_applied = 0;
+      records_skipped = 0;
+      commits_seen = 0;
+      gets = 0;
+      cache_hit_reads = 0;
+      storage_reads = 0;
+      stale_streams_dropped = 0;
+      stream_lag = Histogram.create ();
+    }
+  in
+  register_instruments ~obs ~addr metrics;
   {
     sim;
     net;
@@ -62,19 +94,10 @@ let create ~sim ~rng ~net ~addr ~volume ~writer ~config () =
     txns = Txn_table.create ();
     reader =
       Reader.create ~sim ~rng:(Rng.split rng) ~net ~my_addr:addr
-        ~strategy:config.read_strategy ();
-    metrics =
-      {
-        chunks_applied = 0;
-        records_applied = 0;
-        records_skipped = 0;
-        commits_seen = 0;
-        gets = 0;
-        cache_hit_reads = 0;
-        storage_reads = 0;
-        stale_streams_dropped = 0;
-        stream_lag = Histogram.create ();
-      };
+        ~strategy:config.read_strategy ?obs
+        ~obs_labels:[ ("node", string_of_int (Simnet.Addr.to_int addr)) ]
+        ();
+    metrics;
     active_views = Hashtbl.create 16;
     vdl_seen = Lsn.none;
     volume_epoch_seen = Epoch.initial;

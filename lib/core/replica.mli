@@ -50,10 +50,13 @@ val create :
   volume:Volume.t ->
   writer:Simnet.Addr.t ->
   config:config ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   t
 (** [volume] is shared read-only with the writer: the replica consults
-    routing, rosters, and epochs but never allocates from it. *)
+    routing, rosters, and epochs but never allocates from it.  [obs]
+    registers the [replica_*] instruments labelled with this node's
+    address. *)
 
 val start : t -> unit
 val addr : t -> Simnet.Addr.t

@@ -46,6 +46,7 @@ type t = {
   net : Protocol.t Simnet.Net.t;
   s3 : Storage.S3.t;
   db : Database.t;
+  obs : Obs.Ctx.t;
   pg_nodes : pg_nodes Pg_id.Tbl.t;
   az_of : Az.t Simnet.Addr.Tbl.t;
   addr_alloc : Simnet.Addr.Allocator.t;
@@ -58,6 +59,7 @@ let db t = t.db
 let s3 t = t.s3
 let config t = t.cfg
 let rng t = t.rng
+let obs t = t.obs
 
 let layout_members = function
   | V6 -> Layout.aurora_v6 ()
@@ -70,24 +72,27 @@ let layout_scheme = function
   | V3 -> Layout.scheme_2_of_3
 
 let make_storage_node_raw ~sim ~rng ~net ~s3 ~storage_config ~addr_alloc
-    ~az_of ~az =
+    ~az_of ~obs ~az =
   let addr = Simnet.Addr.Allocator.take addr_alloc in
   Simnet.Addr.Tbl.replace az_of addr az;
   Storage.Storage_node.create ~sim ~rng:(Rng.split rng) ~net ~addr ~s3
-    ~config:storage_config ()
+    ~config:storage_config ~obs
+    ~obs_labels:[ ("az", Printf.sprintf "az%d" (Az.to_int az + 1)) ]
+    ()
 
 let make_storage_node t ~az =
   make_storage_node_raw ~sim:t.sim ~rng:t.rng ~net:t.net ~s3:t.s3
     ~storage_config:t.cfg.storage_config ~addr_alloc:t.addr_alloc
-    ~az_of:t.az_of ~az
+    ~az_of:t.az_of ~obs:t.obs ~az
 
 let create cfg =
   let sim = Sim.create () in
   let rng = Rng.create cfg.seed in
   let az_of = Simnet.Addr.Tbl.create 64 in
+  let obs = Obs.Ctx.create () in
   let net =
     Simnet.Net.create ~sim ~rng:(Rng.split rng)
-      ~default_latency:cfg.inter_az_latency ()
+      ~default_latency:cfg.inter_az_latency ~obs ()
   in
   let s3 =
     Storage.S3.create ~sim
@@ -115,7 +120,7 @@ let create cfg =
             (fun (m : Membership.member) ->
               let node =
                 make_storage_node_raw ~sim ~rng ~net ~s3
-                  ~storage_config:cfg.storage_config ~addr_alloc ~az_of
+                  ~storage_config:cfg.storage_config ~addr_alloc ~az_of ~obs
                   ~az:m.az
               in
               let seg =
@@ -140,10 +145,11 @@ let create cfg =
   let volume = Volume.create volume_groups in
   let db =
     Database.create ~sim ~rng:(Rng.split rng) ~net ~addr:db_addr ~volume
-      ~config:cfg.db_config ()
+      ~config:cfg.db_config ~obs ()
   in
   Database.start db;
-  { cfg; sim; rng; net; s3; db; pg_nodes; az_of; addr_alloc; replica_list = [] }
+  { cfg; sim; rng; net; s3; db; obs; pg_nodes; az_of; addr_alloc;
+    replica_list = [] }
 
 let storage_nodes t =
   Pg_id.Tbl.fold
@@ -180,7 +186,7 @@ let add_replica t =
           Replica.default_config with
           Replica.n_blocks = t.cfg.db_config.Database.n_blocks;
         }
-      ()
+      ~obs:t.obs ()
   in
   Replica.start replica;
   Database.attach_replica t.db addr;

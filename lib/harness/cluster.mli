@@ -40,6 +40,10 @@ val s3 : t -> Storage.S3.t
 val config : t -> config
 val rng : t -> Simcore.Rng.t
 
+val obs : t -> Obs.Ctx.t
+(** The cluster-wide observability context: one registry + trace shared by
+    the network, the writer, every storage node, and every replica. *)
+
 val storage_nodes : t -> Storage.Storage_node.t list
 val node_of_member :
   t -> Storage.Pg_id.t -> Member_id.t -> Storage.Storage_node.t option

@@ -596,7 +596,10 @@ module E6 = struct
     messages_per_commit : float;
   }
 
-  type t = proto_result list
+  type t = {
+    protos : proto_result list;
+    stages : (string * Histogram.t) list;
+  }
 
   (* Shared link model: six storage-side nodes spread 2-per-AZ, client in
      AZ1, lognormal inter/intra-AZ latencies as in Cluster.default_config. *)
@@ -652,14 +655,29 @@ module E6 = struct
     one 0;
     Sim.run_until sim (Time_ns.add (Sim.now sim) (Time_ns.sec 120));
     let st = Simnet.Net.stats (Cluster.net cluster) in
-    {
-      proto = "aurora 4/6 quorum ack";
-      commits = !done_;
-      p50 = float_of_int (Histogram.percentile hist 50.);
-      p99 = float_of_int (Histogram.percentile hist 99.);
-      p999 = float_of_int (Histogram.percentile hist 99.9);
-      messages_per_commit = float_of_int st.Simnet.Net.sent /. float_of_int (max 1 !done_);
-    }
+    let stages =
+      List.map
+        (fun (labels, h) ->
+          let stage =
+            match List.assoc_opt "stage" labels with
+            | Some s -> s
+            | None -> "?"
+          in
+          (stage, h))
+        (Obs.Registry.find_histograms
+           (Obs.Ctx.registry (Cluster.obs cluster))
+           "commit_stage_ns")
+    in
+    ( {
+        proto = "aurora 4/6 quorum ack";
+        commits = !done_;
+        p50 = float_of_int (Histogram.percentile hist 50.);
+        p99 = float_of_int (Histogram.percentile hist 99.);
+        p999 = float_of_int (Histogram.percentile hist 99.9);
+        messages_per_commit =
+          float_of_int st.Simnet.Net.sent /. float_of_int (max 1 !done_);
+      },
+      stages )
 
   let make_net ~seed ~n_nodes =
     let sim = Sim.create () in
@@ -744,11 +762,16 @@ module E6 = struct
     }
 
   let run ?(seed = 31) ?(commits = 2000) () =
-    [
-      run_aurora ~seed ~commits;
-      run_paxos ~seed:(seed + 1) ~commits;
-      run_2pc ~seed:(seed + 2) ~commits;
-    ]
+    let aurora, stages = run_aurora ~seed ~commits in
+    {
+      protos =
+        [
+          aurora;
+          run_paxos ~seed:(seed + 1) ~commits;
+          run_2pc ~seed:(seed + 2) ~commits;
+        ];
+      stages;
+    }
 
   let report t =
     let r =
@@ -767,10 +790,32 @@ module E6 = struct
             Report.ns p.p999;
             Report.f2 p.messages_per_commit;
           ])
-      t;
+      t.protos;
     Report.note r
       "expected shape: aurora <= paxos < 2pc in latency (2PC pays two \
        sequential round trips + forces); tails ordered the same way";
+    (if t.stages <> [] then begin
+       let sub =
+         Report.create ~title:"aurora commit-path stage breakdown"
+           ~columns:[ "stage"; "count"; "mean"; "p50"; "p99"; "max" ]
+       in
+       List.iter
+         (fun (stage, h) ->
+           Report.row sub
+             [
+               stage;
+               string_of_int (Histogram.count h);
+               Report.ns (Histogram.mean h);
+               Report.ns (float_of_int (Histogram.percentile h 50.));
+               Report.ns (float_of_int (Histogram.percentile h 99.));
+               Report.ns (float_of_int (Histogram.max_value h));
+             ])
+         t.stages;
+       Report.note sub
+         "adjacent stage-pair latencies of the write path (\xc2\xa72.2): the \
+          wait between quorum ack and VCL coverage dominates commit cost";
+       Report.add_subtable r sub
+     end);
     r
 end
 

@@ -116,10 +116,18 @@ module E6 : sig
     messages_per_commit : float;
   }
 
-  type t = proto_result list
+  type t = {
+    protos : proto_result list;
+    stages : (string * Simcore.Histogram.t) list;
+        (** Aurora's per-stage commit-path latencies ([commit_stage_ns]
+            histograms harvested from the cluster's observability
+            registry), keyed by ["a→b"] stage-pair label. *)
+  }
 
   val run : ?seed:int -> ?commits:int -> unit -> t
+
   val report : t -> Report.t
+  (** Protocol comparison plus a per-stage latency breakdown subtable. *)
 end
 
 (** E7 — §2.2: boxcar policies — submit-on-first-record vs timeout boxcar

@@ -3,13 +3,17 @@ type t = {
   columns : string list;
   mutable rows : string list list;
   mutable notes : string list;
+  mutable subtables : t list;
 }
 
-let create ~title ~columns = { title; columns; rows = []; notes = [] }
+let create ~title ~columns =
+  { title; columns; rows = []; notes = []; subtables = [] }
+
 let row t cells = t.rows <- cells :: t.rows
 let note t s = t.notes <- s :: t.notes
+let add_subtable t sub = t.subtables <- sub :: t.subtables
 
-let to_string t =
+let rec to_string t =
   let rows = List.rev t.rows in
   let all = t.columns :: rows in
   let ncols = List.length t.columns in
@@ -42,6 +46,9 @@ let to_string t =
   List.iter
     (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n"))
     (List.rev t.notes);
+  List.iter
+    (fun sub -> Buffer.add_string buf ("\n" ^ to_string sub))
+    (List.rev t.subtables);
   Buffer.contents buf
 
 let print t = print_string (to_string t)

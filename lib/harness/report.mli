@@ -7,6 +7,10 @@ val row : t -> string list -> unit
 val note : t -> string -> unit
 (** Free-form line appended under the table. *)
 
+val add_subtable : t -> t -> unit
+(** Attach a secondary table rendered after the notes (e.g. a per-stage
+    latency breakdown under a protocol-comparison table). *)
+
 val to_string : t -> string
 val print : t -> unit
 

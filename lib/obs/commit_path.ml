@@ -1,0 +1,84 @@
+let n = Trace.n_stages
+
+type t = {
+  registry : Registry.t;
+  trace : Trace.t;
+  capacity : int;
+  timelines : (int, int array) Hashtbl.t; (* lsn -> per-stage time, -1 unset *)
+  order : int Queue.t; (* allocation order, for eviction *)
+  hists : Simcore.Histogram.t option array; (* (from * n + to) -> histogram *)
+}
+
+let create ?(capacity = 16384) ~registry ~trace () =
+  if capacity <= 0 then invalid_arg "Obs.Commit_path.create: capacity";
+  {
+    registry;
+    trace;
+    capacity;
+    timelines = Hashtbl.create 1024;
+    order = Queue.create ();
+    hists = Array.make (n * n) None;
+  }
+
+let stage_label a b = Trace.stage_name a ^ "\xe2\x86\x92" ^ Trace.stage_name b
+
+let hist_for t ~from ~upto =
+  let idx = (from * n) + upto in
+  match t.hists.(idx) with
+  | Some h -> h
+  | None ->
+    let label = stage_label (Trace.stage_of_index from) (Trace.stage_of_index upto) in
+    let h =
+      Registry.histogram t.registry ~labels:[ ("stage", label) ] "commit_stage_ns"
+    in
+    t.hists.(idx) <- Some h;
+    h
+
+let record_pair t ~from ~upto span =
+  Simcore.Histogram.record (hist_for t ~from ~upto) span
+
+(* The marquee decomposition pairs, recorded even when intermediate stages
+   were observed in between. *)
+let marquee =
+  [
+    (Trace.stage_index Trace.Boxcar_flushed, Trace.stage_index Trace.Node_acked);
+    (Trace.stage_index Trace.Vcl_advanced, Trace.stage_index Trace.Commit_acked);
+  ]
+
+let evict_beyond_capacity t =
+  while Hashtbl.length t.timelines > t.capacity do
+    match Queue.take_opt t.order with
+    | None -> Hashtbl.reset t.timelines (* unreachable: order covers timelines *)
+    | Some lsn -> Hashtbl.remove t.timelines lsn
+  done
+
+let mark t ~at ~lsn ?(member = -1) stage =
+  Trace.commit_stage t.trace ~at ~lsn ~member stage;
+  let idx = Trace.stage_index stage in
+  match Hashtbl.find_opt t.timelines lsn with
+  | None ->
+    if idx = 0 then begin
+      let tl = Array.make n (-1) in
+      tl.(0) <- at;
+      Hashtbl.replace t.timelines lsn tl;
+      Queue.push lsn t.order;
+      evict_beyond_capacity t
+    end
+  | Some tl ->
+    if tl.(idx) < 0 then begin
+      tl.(idx) <- at;
+      let rec prev i = if i < 0 then -1 else if tl.(i) >= 0 then i else prev (i - 1) in
+      let p = prev (idx - 1) in
+      if p >= 0 then record_pair t ~from:p ~upto:idx (at - tl.(p));
+      List.iter
+        (fun (a, b) ->
+          if b = idx && a <> p && tl.(a) >= 0 then
+            record_pair t ~from:a ~upto:b (at - tl.(a)))
+        marquee
+    end
+
+let live_timelines t = Hashtbl.length t.timelines
+
+let clear t =
+  Hashtbl.reset t.timelines;
+  Queue.clear t.order

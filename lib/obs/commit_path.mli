@@ -1,0 +1,34 @@
+(** Per-record commit-path stage tracking.
+
+    Components [mark] each record (by LSN) as it crosses a {!Trace} commit
+    stage; this module keeps a bounded table of per-LSN stage timelines and
+    folds every observed transition into per-stage latency histograms
+    registered as ["commit_stage_ns"] with a ["stage"] label of the form
+    ["a→b"] in the shared {!Registry}.
+
+    Two transitions are always recorded in addition to the
+    nearest-preceding-stage pair, because they carry the paper's headline
+    decomposition (§2.3): [boxcar_flushed→node_acked] (network + storage
+    foreground) and [vcl_advanced→commit_acked] (commit-queue drain).
+
+    Marks are idempotent per (LSN, stage): only the first time is kept, so
+    a record flushed to six segments gets one [Boxcar_flushed] and its
+    first covering ack one [Node_acked].  Timelines are evicted
+    oldest-first beyond [capacity]; marks on evicted or never-allocated
+    LSNs are dropped.  Marking also emits a typed trace event when the
+    trace is enabled. *)
+
+type t
+
+val create : ?capacity:int -> registry:Registry.t -> trace:Trace.t -> unit -> t
+(** [capacity] bounds live per-LSN timelines (default 16384). *)
+
+val mark :
+  t -> at:Simcore.Time_ns.t -> lsn:int -> ?member:int -> Trace.commit_stage -> unit
+
+val live_timelines : t -> int
+val clear : t -> unit
+(** Drop all in-flight timelines (instance crash); histograms persist. *)
+
+val stage_label : Trace.commit_stage -> Trace.commit_stage -> string
+(** ["a→b"], the ["stage"] label value used in the registry. *)

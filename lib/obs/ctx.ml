@@ -1,0 +1,35 @@
+type t = {
+  registry : Registry.t;
+  trace : Trace.t;
+  commit_path : Commit_path.t;
+}
+
+let create ?(trace_capacity = 8192) ?(commit_capacity = 16384) () =
+  let registry = Registry.create () in
+  let trace = Trace.create ~capacity:trace_capacity () in
+  let commit_path = Commit_path.create ~capacity:commit_capacity ~registry ~trace () in
+  { registry; trace; commit_path }
+
+let registry t = t.registry
+let trace t = t.trace
+let commit_path t = t.commit_path
+let enable_tracing t = Trace.enable t.trace
+let disable_tracing t = Trace.disable t.trace
+
+let snapshot_at ~at ?where ?trace_tail t =
+  let base =
+    [
+      ("at_ns", Json.Int at);
+      ("instruments", Registry.snapshot ?where t.registry);
+    ]
+  in
+  let trace_field =
+    match trace_tail with
+    | None -> []
+    | Some tl ->
+      [ ("trace", Json.List (List.map Trace.event_to_json (Trace.tail t.trace tl))) ]
+  in
+  Json.Obj (base @ trace_field)
+
+let snapshot ?where ?trace_tail t =
+  snapshot_at ~at:Simcore.Time_ns.zero ?where ?trace_tail t

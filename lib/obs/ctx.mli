@@ -1,0 +1,27 @@
+(** One observability context per cluster.
+
+    Bundles the metrics {!Registry}, the typed event {!Trace} ring, and the
+    {!Commit_path} tracker.  Every component takes an optional [?obs]
+    context at creation; a component built without one gets a fresh private
+    context ({!create}) so instrumentation code never branches — the
+    harness passes a single shared context to everything it builds and
+    snapshots that. *)
+
+type t
+
+val create : ?trace_capacity:int -> ?commit_capacity:int -> unit -> t
+
+val registry : t -> Registry.t
+val trace : t -> Trace.t
+val commit_path : t -> Commit_path.t
+
+val enable_tracing : t -> unit
+val disable_tracing : t -> unit
+
+val snapshot : ?where:Registry.labels -> ?trace_tail:int -> t -> Json.t
+(** [{"at_ns": ...; "instruments": [...]; "trace": [...]}]; [at_ns] is
+    supplied by the caller via {!snapshot_at} — this variant stamps 0.
+    Deterministic for identically seeded simulations. *)
+
+val snapshot_at :
+  at:Simcore.Time_ns.t -> ?where:Registry.labels -> ?trace_tail:int -> t -> Json.t

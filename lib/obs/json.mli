@@ -1,0 +1,23 @@
+(** Minimal hand-rolled JSON tree + stable encoder.
+
+    The repo deliberately takes no serialization dependency; this covers
+    exactly what the observability layer needs.  Encoding is deterministic:
+    the same tree always renders to the same bytes, so snapshots from
+    identically seeded simulations can be compared byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] adds two-space indentation and newlines; field order is
+    preserved as given (callers sort where determinism demands it).
+    Non-finite floats encode as [null]. *)
+
+val escape : string -> string
+(** JSON string escaping, without the surrounding quotes. *)

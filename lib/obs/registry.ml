@@ -1,0 +1,154 @@
+type labels = (string * string) list
+
+type value =
+  | Counter of int ref
+  | Counter_fn of (unit -> int)
+  | Gauge of float ref
+  | Gauge_fn of (unit -> float)
+  | Hist of Simcore.Histogram.t
+
+type instrument = { name : string; labels : labels; mutable value : value }
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 128 }
+
+let sort_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let key name labels =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf name;
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf v)
+    labels;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let kind_name = function
+  | Counter _ | Counter_fn _ -> "counter"
+  | Gauge _ | Gauge_fn _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let same_kind a b = String.equal (kind_name a) (kind_name b)
+
+(* Owned instruments: first registration wins, later ones get the same
+   object back.  [extract] projects the payload or None on kind clash. *)
+let register_owned t ?(labels = []) name fresh extract =
+  let labels = sort_labels labels in
+  let k = key name labels in
+  match Hashtbl.find_opt t.tbl k with
+  | Some inst -> (
+    match extract inst.value with
+    | Some payload -> payload
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Registry: %s already registered as a %s" k
+           (kind_name inst.value)))
+  | None ->
+    let value = fresh () in
+    Hashtbl.replace t.tbl k { name; labels; value };
+    (match extract value with Some payload -> payload | None -> assert false)
+
+(* Callback / by-reference instruments: replace a previous registration of
+   the same kind (component rebuilt after recovery), clash on others. *)
+let register_replacing t ?(labels = []) name value =
+  let labels = sort_labels labels in
+  let k = key name labels in
+  (match Hashtbl.find_opt t.tbl k with
+  | Some inst when not (same_kind inst.value value) ->
+    invalid_arg
+      (Printf.sprintf "Obs.Registry: %s already registered as a %s" k
+         (kind_name inst.value))
+  | Some _ | None -> ());
+  Hashtbl.replace t.tbl k { name; labels; value }
+
+let counter t ?labels name =
+  register_owned t ?labels name
+    (fun () -> Counter (ref 0))
+    (function Counter r -> Some r | _ -> None)
+
+let counter_fn t ?labels name f = register_replacing t ?labels name (Counter_fn f)
+
+let gauge t ?labels name =
+  register_owned t ?labels name
+    (fun () -> Gauge (ref 0.))
+    (function Gauge r -> Some r | _ -> None)
+
+let gauge_fn t ?labels name f = register_replacing t ?labels name (Gauge_fn f)
+
+let histogram t ?labels name =
+  register_owned t ?labels name
+    (fun () -> Hist (Simcore.Histogram.create ()))
+    (function Hist h -> Some h | _ -> None)
+
+let histogram_ref t ?labels name h = register_replacing t ?labels name (Hist h)
+
+let cardinality t = Hashtbl.length t.tbl
+
+let sorted_instruments t =
+  Hashtbl.fold (fun k inst acc -> (k, inst) :: acc) t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map snd
+
+let find_histograms t name =
+  List.filter_map
+    (fun inst ->
+      match inst.value with
+      | Hist h when String.equal inst.name name -> Some (inst.labels, h)
+      | _ -> None)
+    (sorted_instruments t)
+
+let counter_value t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (key name (sort_labels labels)) with
+  | Some { value = Counter r; _ } -> Some !r
+  | Some { value = Counter_fn f; _ } -> Some (f ())
+  | Some _ | None -> None
+
+let matches ~where labels =
+  List.for_all
+    (fun (k, v) ->
+      match List.assoc_opt k labels with
+      | None -> true
+      | Some v' -> String.equal v v')
+    where
+
+let hist_json h =
+  let open Simcore in
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("min", Json.Int (Histogram.min_value h));
+      ("max", Json.Int (Histogram.max_value h));
+      ("mean", Json.Float (Histogram.mean h));
+      ("p50", Json.Int (Histogram.percentile h 50.));
+      ("p90", Json.Int (Histogram.percentile h 90.));
+      ("p99", Json.Int (Histogram.percentile h 99.));
+      ("p999", Json.Int (Histogram.percentile h 99.9));
+      ("total", Json.Float (Histogram.total h));
+    ]
+
+let instrument_json inst =
+  let labels_json = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) inst.labels) in
+  let base = [ ("name", Json.String inst.name); ("labels", labels_json) ] in
+  let payload =
+    match inst.value with
+    | Counter r -> [ ("type", Json.String "counter"); ("value", Json.Int !r) ]
+    | Counter_fn f -> [ ("type", Json.String "counter"); ("value", Json.Int (f ())) ]
+    | Gauge r -> [ ("type", Json.String "gauge"); ("value", Json.Float !r) ]
+    | Gauge_fn f -> [ ("type", Json.String "gauge"); ("value", Json.Float (f ())) ]
+    | Hist h -> [ ("type", Json.String "histogram"); ("histogram", hist_json h) ]
+  in
+  Json.Obj (base @ payload)
+
+let snapshot ?(where = []) t =
+  Json.List
+    (List.filter_map
+       (fun inst ->
+         if matches ~where inst.labels then Some (instrument_json inst) else None)
+       (sorted_instruments t))

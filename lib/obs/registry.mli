@@ -1,0 +1,55 @@
+(** Cluster-wide metrics registry.
+
+    Components register named, labelled instruments at creation time; the
+    harness snapshots the whole registry at any simulated instant.  Three
+    instrument kinds:
+
+    - counters: monotone ints, either owned ([counter], returns a [ref] the
+      caller bumps) or callback-backed ([counter_fn], reading an existing
+      ad-hoc metrics record so legacy counters migrate without moving);
+    - gauges: floats, same two flavours;
+    - histograms: {!Simcore.Histogram}, either owned or registered by
+      reference ([histogram_ref]) so existing latency histograms surface
+      under a stable name.
+
+    Identity is (name, label set).  Registering an owned instrument twice
+    under the same identity returns the first one; registering under the
+    same identity with a different kind raises [Invalid_argument].
+    Callback/by-reference registrations replace a previous registration of
+    the same kind — a component rebuilt after crash recovery re-registers
+    and its fresh instruments supersede the dead ones. *)
+
+type t
+
+type labels = (string * string) list
+(** Label dimensions, e.g. [("pg", "0"); ("az", "az1")].  Stored sorted by
+    key; order given at registration does not matter. *)
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> int ref
+val counter_fn : t -> ?labels:labels -> string -> (unit -> int) -> unit
+val gauge : t -> ?labels:labels -> string -> float ref
+val gauge_fn : t -> ?labels:labels -> string -> (unit -> float) -> unit
+val histogram : t -> ?labels:labels -> string -> Simcore.Histogram.t
+val histogram_ref : t -> ?labels:labels -> string -> Simcore.Histogram.t -> unit
+
+val cardinality : t -> int
+(** Number of registered instruments. *)
+
+val find_histograms : t -> string -> (labels * Simcore.Histogram.t) list
+(** All histograms registered under [name], sorted by labels —
+    deterministic input for report tables. *)
+
+val counter_value : t -> ?labels:labels -> string -> int option
+(** Current value of a counter (owned or callback), if registered. *)
+
+val snapshot : ?where:labels -> t -> Json.t
+(** Deterministic JSON array of instruments sorted by (name, labels), each
+    [{"name"; "labels"; "type"; ...}].  Counters/gauges carry ["value"];
+    histograms carry count/min/max/mean/percentiles/total.
+
+    [where] filters: an instrument is kept iff, for every [(k, v)] in
+    [where], it either lacks label [k] entirely or carries [k = v] — so
+    per-PG filtering keeps global instruments visible alongside the
+    selected group's. *)

@@ -1,0 +1,164 @@
+type commit_stage =
+  | Lsn_allocated
+  | Boxcar_flushed
+  | Net_sent
+  | Node_acked
+  | Pgcl_advanced
+  | Vcl_advanced
+  | Vdl_advanced
+  | Commit_acked
+
+let n_stages = 8
+
+let stage_index = function
+  | Lsn_allocated -> 0
+  | Boxcar_flushed -> 1
+  | Net_sent -> 2
+  | Node_acked -> 3
+  | Pgcl_advanced -> 4
+  | Vcl_advanced -> 5
+  | Vdl_advanced -> 6
+  | Commit_acked -> 7
+
+let stage_of_index = function
+  | 0 -> Lsn_allocated
+  | 1 -> Boxcar_flushed
+  | 2 -> Net_sent
+  | 3 -> Node_acked
+  | 4 -> Pgcl_advanced
+  | 5 -> Vcl_advanced
+  | 6 -> Vdl_advanced
+  | 7 -> Commit_acked
+  | i -> invalid_arg (Printf.sprintf "Obs.Trace.stage_of_index: %d" i)
+
+let stage_name = function
+  | Lsn_allocated -> "lsn_allocated"
+  | Boxcar_flushed -> "boxcar_flushed"
+  | Net_sent -> "net_sent"
+  | Node_acked -> "node_acked"
+  | Pgcl_advanced -> "pgcl_advanced"
+  | Vcl_advanced -> "vcl_advanced"
+  | Vdl_advanced -> "vdl_advanced"
+  | Commit_acked -> "commit_acked"
+
+type read_kind = Read_cache_hit | Read_tracked | Read_hedged
+
+let read_kind_name = function
+  | Read_cache_hit -> "cache_hit"
+  | Read_tracked -> "tracked"
+  | Read_hedged -> "hedged"
+
+type recovery_phase = Recovery_started | Recovery_finished
+
+let recovery_phase_name = function
+  | Recovery_started -> "started"
+  | Recovery_finished -> "finished"
+
+type membership_phase = Change_begun | Change_committed | Change_reverted
+
+let membership_phase_name = function
+  | Change_begun -> "begun"
+  | Change_committed -> "committed"
+  | Change_reverted -> "reverted"
+
+type event =
+  | Commit of { lsn : int; stage : commit_stage; member : int }
+  | Read of { pg : int; kind : read_kind }
+  | Recovery of { epoch : int; phase : recovery_phase }
+  | Membership of { pg : int; epoch : int; phase : membership_phase }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  buf : (Simcore.Time_ns.t * event) option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(capacity = 8192) () =
+  if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity";
+  { capacity; enabled = false; buf = Array.make capacity None; next = 0; count = 0 }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let push t at ev =
+  t.buf.(t.next) <- Some (at, ev);
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.count < t.capacity then t.count <- t.count + 1
+
+let commit_stage t ~at ~lsn ~member stage =
+  if t.enabled then push t at (Commit { lsn; stage; member })
+
+let read t ~at ~pg kind = if t.enabled then push t at (Read { pg; kind })
+
+let recovery t ~at ~epoch phase =
+  if t.enabled then push t at (Recovery { epoch; phase })
+
+let membership t ~at ~pg ~epoch phase =
+  if t.enabled then push t at (Membership { pg; epoch; phase })
+
+let length t = t.count
+
+let nth_oldest t i =
+  let start = (t.next - t.count + t.capacity) mod t.capacity in
+  match t.buf.((start + i) mod t.capacity) with
+  | Some e -> e
+  | None -> assert false
+
+let events t = List.init t.count (nth_oldest t)
+
+let tail t n =
+  let n = min n t.count in
+  List.init n (fun i -> nth_oldest t (t.count - n + i))
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let event_to_json (at, ev) =
+  let fields =
+    match ev with
+    | Commit { lsn; stage; member } ->
+      [
+        ("kind", Json.String "commit_stage");
+        ("lsn", Json.Int lsn);
+        ("stage", Json.String (stage_name stage));
+      ]
+      @ if member >= 0 then [ ("member", Json.Int member) ] else []
+    | Read { pg; kind } ->
+      [ ("kind", Json.String "read"); ("read", Json.String (read_kind_name kind)) ]
+      @ if pg >= 0 then [ ("pg", Json.Int pg) ] else []
+    | Recovery { epoch; phase } ->
+      [
+        ("kind", Json.String "recovery");
+        ("epoch", Json.Int epoch);
+        ("phase", Json.String (recovery_phase_name phase));
+      ]
+    | Membership { pg; epoch; phase } ->
+      [
+        ("kind", Json.String "membership");
+        ("pg", Json.Int pg);
+        ("epoch", Json.Int epoch);
+        ("phase", Json.String (membership_phase_name phase));
+      ]
+  in
+  Json.Obj (("at_ns", Json.Int at) :: fields)
+
+let pp_event fmt (at, ev) =
+  let open Format in
+  fprintf fmt "[%a] " Simcore.Time_ns.pp at;
+  match ev with
+  | Commit { lsn; stage; member } ->
+    if member >= 0 then
+      fprintf fmt "commit lsn=%d %s member=%d" lsn (stage_name stage) member
+    else fprintf fmt "commit lsn=%d %s" lsn (stage_name stage)
+  | Read { pg; kind } ->
+    if pg >= 0 then fprintf fmt "read %s pg=%d" (read_kind_name kind) pg
+    else fprintf fmt "read %s" (read_kind_name kind)
+  | Recovery { epoch; phase } ->
+    fprintf fmt "recovery epoch=%d %s" epoch (recovery_phase_name phase)
+  | Membership { pg; epoch; phase } ->
+    fprintf fmt "membership pg=%d epoch=%d %s" pg epoch (membership_phase_name phase)

@@ -1,0 +1,75 @@
+(** Variant-typed event trace.
+
+    Replaces free-form string tracing on the hot paths: events are closed
+    variants, so recording allocates nothing until the trace is enabled and
+    the recorder functions take only immediate arguments — a disabled trace
+    costs one branch per call site.  Events live in a fixed-capacity ring;
+    the newest [capacity] survive.
+
+    The commit-path stages follow one log record through the write
+    pipeline (§2.2-2.3 of the paper):
+
+    [Lsn_allocated → Boxcar_flushed → Net_sent → Node_acked(member) →
+     Pgcl_advanced → Vcl_advanced → Vdl_advanced → Commit_acked] *)
+
+type commit_stage =
+  | Lsn_allocated  (** Redo record created, LSN assigned. *)
+  | Boxcar_flushed  (** Boxcar batch containing the record flushed. *)
+  | Net_sent  (** Write_batch handed to the network. *)
+  | Node_acked  (** First storage-node ack covering the record. *)
+  | Pgcl_advanced  (** Write quorum met: group durable point covers it. *)
+  | Vcl_advanced  (** Volume-complete LSN covers it. *)
+  | Vdl_advanced  (** Volume-durable LSN covers it. *)
+  | Commit_acked  (** Commit queue acknowledged the client (SCN <= VCL). *)
+
+val n_stages : int
+val stage_index : commit_stage -> int
+val stage_of_index : int -> commit_stage
+val stage_name : commit_stage -> string
+
+type read_kind =
+  | Read_cache_hit
+  | Read_tracked  (** Single tracked storage read (§3.1). *)
+  | Read_hedged  (** A hedge request actually fired. *)
+
+type recovery_phase = Recovery_started | Recovery_finished
+
+type membership_phase =
+  | Change_begun  (** Figure 5: first epoch increment, dual quorums. *)
+  | Change_committed  (** Second increment: suspect dropped. *)
+  | Change_reverted  (** Second increment: replacement dropped. *)
+
+type event =
+  | Commit of { lsn : int; stage : commit_stage; member : int }
+      (** [member] is the acking segment for [Node_acked], [-1] otherwise. *)
+  | Read of { pg : int; kind : read_kind }  (** [pg = -1] when not resolved. *)
+  | Recovery of { epoch : int; phase : recovery_phase }
+  | Membership of { pg : int; epoch : int; phase : membership_phase }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 8192 events. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+(* Recorders: no-ops (and allocation-free) while disabled. *)
+
+val commit_stage : t -> at:Simcore.Time_ns.t -> lsn:int -> member:int -> commit_stage -> unit
+val read : t -> at:Simcore.Time_ns.t -> pg:int -> read_kind -> unit
+val recovery : t -> at:Simcore.Time_ns.t -> epoch:int -> recovery_phase -> unit
+val membership : t -> at:Simcore.Time_ns.t -> pg:int -> epoch:int -> membership_phase -> unit
+
+val length : t -> int
+val events : t -> (Simcore.Time_ns.t * event) list
+(** Oldest first. *)
+
+val tail : t -> int -> (Simcore.Time_ns.t * event) list
+(** Last [n] events, oldest first. *)
+
+val clear : t -> unit
+
+val event_to_json : Simcore.Time_ns.t * event -> Json.t
+val pp_event : Format.formatter -> Simcore.Time_ns.t * event -> unit

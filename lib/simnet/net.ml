@@ -11,7 +11,10 @@ type 'msg envelope = {
 type stats = {
   sent : int;
   delivered : int;
-  dropped : int;
+  dropped : int; (* always = dropped_down + dropped_blocked + dropped_random *)
+  dropped_down : int;
+  dropped_blocked : int;
+  dropped_random : int;
   bytes_sent : int;
   bytes_delivered : int;
 }
@@ -32,23 +35,48 @@ type 'msg t = {
 }
 
 let zero_stats =
-  { sent = 0; delivered = 0; dropped = 0; bytes_sent = 0; bytes_delivered = 0 }
-
-let create ~sim ~rng ~default_latency () =
   {
-    sim;
-    rng;
-    default_latency;
-    handlers = Addr.Tbl.create 64;
-    link_latency = Hashtbl.create 64;
-    latency_fn = (fun _ _ -> None);
-    link_drop = Hashtbl.create 16;
-    global_drop = 0.;
-    slowdown = Addr.Tbl.create 16;
-    down = Addr.Tbl.create 16;
-    blocked = Hashtbl.create 16;
-    st = zero_stats;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    dropped_down = 0;
+    dropped_blocked = 0;
+    dropped_random = 0;
+    bytes_sent = 0;
+    bytes_delivered = 0;
   }
+
+let create ~sim ~rng ~default_latency ?obs () =
+  let t =
+    {
+      sim;
+      rng;
+      default_latency;
+      handlers = Addr.Tbl.create 64;
+      link_latency = Hashtbl.create 64;
+      latency_fn = (fun _ _ -> None);
+      link_drop = Hashtbl.create 16;
+      global_drop = 0.;
+      slowdown = Addr.Tbl.create 16;
+      down = Addr.Tbl.create 16;
+      blocked = Hashtbl.create 16;
+      st = zero_stats;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some obs ->
+    let reg = Obs.Ctx.registry obs in
+    let c name f = Obs.Registry.counter_fn reg name f in
+    c "net_sent" (fun () -> t.st.sent);
+    c "net_delivered" (fun () -> t.st.delivered);
+    c "net_dropped" (fun () -> t.st.dropped);
+    c "net_dropped_down" (fun () -> t.st.dropped_down);
+    c "net_dropped_blocked" (fun () -> t.st.dropped_blocked);
+    c "net_dropped_random" (fun () -> t.st.dropped_random);
+    c "net_bytes_sent" (fun () -> t.st.bytes_sent);
+    c "net_bytes_delivered" (fun () -> t.st.bytes_delivered));
+  t
 
 let sim t = t.sim
 let key a b = (Addr.to_int a, Addr.to_int b)
@@ -104,11 +132,27 @@ let slow_factor t addr =
 let stats t = t.st
 let reset_stats t = t.st <- zero_stats
 
+type drop_cause = Down | Blocked | Random
+
+let note_drop t cause =
+  let st = t.st in
+  t.st <-
+    (match cause with
+    | Down -> { st with dropped = st.dropped + 1; dropped_down = st.dropped_down + 1 }
+    | Blocked ->
+      { st with dropped = st.dropped + 1; dropped_blocked = st.dropped_blocked + 1 }
+    | Random ->
+      { st with dropped = st.dropped + 1; dropped_random = st.dropped_random + 1 })
+
 let send t ~src ~dst ?(bytes = 64) msg =
   t.st <- { t.st with sent = t.st.sent + 1; bytes_sent = t.st.bytes_sent + bytes };
-  if is_down t src || is_blocked t src dst
-     || Rng.bernoulli t.rng (drop_probability t ~src ~dst)
-  then t.st <- { t.st with dropped = t.st.dropped + 1 }
+  (* Attribution order mirrors the old short-circuit: the stochastic draw
+     happens only when neither endpoint fault applies, keeping the RNG
+     stream (and thus every seeded run) identical. *)
+  if is_down t src then note_drop t Down
+  else if is_blocked t src dst then note_drop t Blocked
+  else if Rng.bernoulli t.rng (drop_probability t ~src ~dst) then
+    note_drop t Random
   else begin
     let base = Distribution.sample (latency_for t ~src ~dst) t.rng in
     let factor = slow_factor t src *. slow_factor t dst in
@@ -120,12 +164,13 @@ let send t ~src ~dst ?(bytes = 64) msg =
     ignore
       (Sim.schedule t.sim ~delay (fun () ->
            (* Down / blocked state is re-checked at delivery: a node that
-              crashed while the message was in flight never sees it. *)
-           if is_down t dst || is_blocked t src dst then
-             t.st <- { t.st with dropped = t.st.dropped + 1 }
+              crashed while the message was in flight never sees it.  An
+              unregistered destination counts as down. *)
+           if is_down t dst then note_drop t Down
+           else if is_blocked t src dst then note_drop t Blocked
            else
              match Addr.Tbl.find_opt t.handlers dst with
-             | None -> t.st <- { t.st with dropped = t.st.dropped + 1 }
+             | None -> note_drop t Down
              | Some handler ->
                t.st <-
                  {

@@ -28,7 +28,12 @@ type 'msg envelope = {
 type stats = {
   sent : int;
   delivered : int;
-  dropped : int;
+  dropped : int;  (** Sum of the three cause-split counters below. *)
+  dropped_down : int;
+      (** Endpoint down at send or delivery (an unregistered destination
+          counts as down). *)
+  dropped_blocked : int;  (** Link severed by a partition/block. *)
+  dropped_random : int;  (** Stochastic loss (global or per-link). *)
   bytes_sent : int;
   bytes_delivered : int;
 }
@@ -37,8 +42,11 @@ val create :
   sim:Simcore.Sim.t ->
   rng:Simcore.Rng.t ->
   default_latency:Simcore.Distribution.t ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   'msg t
+(** [obs] registers the [net_*] counters (sent/delivered/dropped with
+    cause split/bytes) in the given registry. *)
 
 val sim : 'msg t -> Simcore.Sim.t
 

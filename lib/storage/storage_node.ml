@@ -75,7 +75,34 @@ type t = {
   mutable generation : int; (* invalidates background loops across restarts *)
 }
 
-let create ~sim ~rng ~net ~addr ~s3 ~config () =
+let register_instruments ~obs ~addr ~obs_labels metrics =
+  match obs with
+  | None -> ()
+  | Some obs ->
+    let reg = Obs.Ctx.registry obs in
+    let labels =
+      ("node", string_of_int (Simnet.Addr.to_int addr)) :: obs_labels
+    in
+    let c name f = Obs.Registry.counter_fn reg ~labels name f in
+    let m = metrics in
+    c "storage_write_batches" (fun () -> m.write_batches);
+    c "storage_records_stored" (fun () -> m.records_stored);
+    c "storage_duplicates" (fun () -> m.duplicates);
+    c "storage_rejects" (fun () -> m.rejects);
+    c "storage_reads_ok" (fun () -> m.reads_ok);
+    c "storage_reads_refused" (fun () -> m.reads_refused);
+    c "storage_gossip_pulls_served" (fun () -> m.gossip_pulls_served);
+    c "storage_gossip_records_sent" (fun () -> m.gossip_records_sent);
+    c "storage_gossip_records_filled" (fun () -> m.gossip_records_filled);
+    c "storage_backups_taken" (fun () -> m.backups_taken);
+    c "storage_hot_log_records_gced" (fun () -> m.hot_log_records_gced);
+    c "storage_versions_gced" (fun () -> m.versions_gced);
+    c "storage_scrub_corruptions_found" (fun () -> m.scrub_corruptions_found);
+    c "storage_hydrations_served" (fun () -> m.hydrations_served)
+
+let create ~sim ~rng ~net ~addr ~s3 ~config ?obs ?(obs_labels = []) () =
+  let metrics = fresh_metrics () in
+  register_instruments ~obs ~addr ~obs_labels metrics;
   {
     sim;
     rng;
@@ -88,7 +115,7 @@ let create ~sim ~rng ~net ~addr ~s3 ~config () =
     disk =
       Disk.create ~sim ~rng:(Rng.split rng) ~service:config.disk_service
         ~per_byte_ns:config.disk_per_byte_ns;
-    metrics = fresh_metrics ();
+    metrics;
     alive = false;
     generation = 0;
   }

@@ -51,8 +51,13 @@ val create :
   addr:Simnet.Addr.t ->
   s3:S3.t ->
   config:config ->
+  ?obs:Obs.Ctx.t ->
+  ?obs_labels:Obs.Registry.labels ->
   unit ->
   t
+(** [obs] registers the [storage_*] counters labelled with this node's
+    address; [obs_labels] adds extra dimensions (the harness tags the
+    node's AZ). *)
 
 val addr : t -> Simnet.Addr.t
 val add_segment : t -> Segment.t -> unit

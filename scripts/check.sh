@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 gate: build everything and run the full test suite, refusing to
+# proceed if build artefacts have been staged (the repo must never track
+# _build/; see .gitignore).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# --diff-filter=d: staged deletions of _build/ files are fine (that's the
+# cleanup); staged additions/modifications are not.
+staged_build=$(git diff --cached --name-only --diff-filter=d | grep '^_build/' || true)
+if [ -n "$staged_build" ]; then
+  echo "error: _build/ files are staged for commit:" >&2
+  echo "$staged_build" | head -5 >&2
+  echo "run: git restore --staged _build/" >&2
+  exit 1
+fi
+
+dune build @all
+dune runtest
+
+echo "check.sh: all green"

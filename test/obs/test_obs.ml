@@ -1,0 +1,253 @@
+open Simcore
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* Naive substring search; fine at test sizes. *)
+module Astring_contains = struct
+  let find ?(start = 0) haystack needle =
+    let hl = String.length haystack and nl = String.length needle in
+    let rec scan i =
+      if i + nl > hl then None
+      else if String.sub haystack i nl = needle then Some i
+      else scan (i + 1)
+    in
+    if nl = 0 then Some start else scan start
+
+  let contains haystack needle = find haystack needle <> None
+end
+
+(* ---- json ---- *)
+
+let test_json_escaping () =
+  check_str "quotes and control"
+    "{\"k\\\"\\n\":\"a\\\\b\\tc\"}"
+    (Obs.Json.to_string (Obs.Json.Obj [ ("k\"\n", Obs.Json.String "a\\b\tc") ]));
+  check_str "unicode passthrough" "\"a\xe2\x86\x92b\""
+    (Obs.Json.to_string (Obs.Json.String "a\xe2\x86\x92b"))
+
+let test_json_floats () =
+  check_str "integral float gets .0" "1.0"
+    (Obs.Json.to_string (Obs.Json.Float 1.));
+  check_str "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  check_str "inf is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity));
+  check_str "fraction stable" "0.25"
+    (Obs.Json.to_string (Obs.Json.Float 0.25))
+
+(* ---- registry ---- *)
+
+let test_registry_identity () =
+  let r = Obs.Registry.create () in
+  let c1 = Obs.Registry.counter r "hits" in
+  let c2 = Obs.Registry.counter r "hits" in
+  incr c1;
+  check_int "owned counter: same ref returned" 1 !c2;
+  (* Distinct label sets are distinct instruments, in any key order. *)
+  let la = Obs.Registry.counter r ~labels:[ ("pg", "0"); ("az", "az1") ] "hits" in
+  let lb = Obs.Registry.counter r ~labels:[ ("az", "az1"); ("pg", "0") ] "hits" in
+  let lc = Obs.Registry.counter r ~labels:[ ("pg", "1"); ("az", "az1") ] "hits" in
+  incr la;
+  check_int "label order irrelevant" 1 !lb;
+  check_int "different labels distinct" 0 !lc;
+  check_int "cardinality" 3 (Obs.Registry.cardinality r);
+  (* Same identity, different kind: refused. *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.Registry: hits{} already registered as a counter")
+    (fun () -> ignore (Obs.Registry.gauge r "hits" : float ref))
+
+let test_registry_snapshot_filter () =
+  let r = Obs.Registry.create () in
+  let c = Obs.Registry.counter r ~labels:[ ("pg", "0") ] "x" in
+  incr c;
+  ignore (Obs.Registry.counter r ~labels:[ ("pg", "1") ] "x" : int ref);
+  ignore (Obs.Registry.counter r "global" : int ref);
+  let rendered where = Obs.Json.to_string (Obs.Registry.snapshot ~where r) in
+  let with_pg0 = rendered [ ("pg", "0") ] in
+  Alcotest.(check bool) "keeps pg=0" true
+    (String.length with_pg0 > 0
+    && Astring_contains.contains with_pg0 "\"pg\":\"0\"");
+  Alcotest.(check bool) "drops pg=1" false
+    (Astring_contains.contains with_pg0 "\"pg\":\"1\"");
+  Alcotest.(check bool) "keeps unlabelled" true
+    (Astring_contains.contains with_pg0 "global")
+
+(* ---- trace ring ---- *)
+
+let test_trace_ring () =
+  let tr = Obs.Trace.create ~capacity:3 () in
+  Obs.Trace.enable tr;
+  for i = 1 to 5 do
+    Obs.Trace.read tr ~at:(Time_ns.ns i) ~pg:i Obs.Trace.Read_tracked
+  done;
+  check_int "capped" 3 (Obs.Trace.length tr);
+  (match Obs.Trace.events tr with
+  | (at, Obs.Trace.Read { pg; _ }) :: _ ->
+    check_int "oldest surviving at" 3 at;
+    check_int "oldest surviving pg" 3 pg
+  | _ -> Alcotest.fail "expected Read events");
+  check_int "tail 2" 2 (List.length (Obs.Trace.tail tr 2));
+  Obs.Trace.clear tr;
+  check_int "cleared" 0 (Obs.Trace.length tr)
+
+let test_trace_disabled_zero_alloc () =
+  let tr = Obs.Trace.create ~capacity:64 () in
+  (* Warm up so any one-time allocation is out of the measured window. *)
+  Obs.Trace.read tr ~at:0 ~pg:0 Obs.Trace.Read_tracked;
+  let before = Gc.minor_words () in
+  for i = 1 to 1000 do
+    Obs.Trace.commit_stage tr ~at:i ~lsn:i ~member:(-1) Obs.Trace.Lsn_allocated;
+    Obs.Trace.read tr ~at:i ~pg:0 Obs.Trace.Read_cache_hit
+  done;
+  let allocated = Gc.minor_words () -. before in
+  check_int "disabled trace stays empty" 0 (Obs.Trace.length tr);
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation-free while disabled (%.0f words)" allocated)
+    true (allocated < 256.)
+
+(* ---- commit path ---- *)
+
+let test_commit_path_pairs () =
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Trace.create () in
+  let cp = Obs.Commit_path.create ~registry:reg ~trace:tr () in
+  let mark ~at ~lsn ?member st = Obs.Commit_path.mark cp ~at ~lsn ?member st in
+  (* One record through the whole pipeline. *)
+  mark ~at:0 ~lsn:1 Obs.Trace.Lsn_allocated;
+  mark ~at:10 ~lsn:1 Obs.Trace.Boxcar_flushed;
+  mark ~at:10 ~lsn:1 Obs.Trace.Net_sent;
+  mark ~at:510 ~lsn:1 ~member:2 Obs.Trace.Node_acked;
+  mark ~at:520 ~lsn:1 ~member:4 Obs.Trace.Node_acked (* idempotent: later ack ignored *);
+  mark ~at:600 ~lsn:1 Obs.Trace.Pgcl_advanced;
+  mark ~at:600 ~lsn:1 Obs.Trace.Vcl_advanced;
+  mark ~at:700 ~lsn:1 Obs.Trace.Vdl_advanced;
+  mark ~at:650 ~lsn:1 Obs.Trace.Commit_acked;
+  let hist stage_a stage_b =
+    let label = Obs.Commit_path.stage_label stage_a stage_b in
+    match
+      List.find_opt
+        (fun (labels, _) -> List.mem ("stage", label) labels)
+        (Obs.Registry.find_histograms reg "commit_stage_ns")
+    with
+    | Some (_, h) -> h
+    | None -> Alcotest.failf "no histogram for %s" label
+  in
+  let h = hist Obs.Trace.Boxcar_flushed Obs.Trace.Node_acked in
+  check_int "marquee boxcar->ack count" 1 (Histogram.count h);
+  check_int "marquee boxcar->ack value" 500 (Histogram.max_value h);
+  let h = hist Obs.Trace.Vcl_advanced Obs.Trace.Commit_acked in
+  check_int "marquee vcl->commit count" 1 (Histogram.count h);
+  check_int "marquee vcl->commit value" 50 (Histogram.max_value h);
+  let h = hist Obs.Trace.Net_sent Obs.Trace.Node_acked in
+  check_int "nearest-prev pair value" 500 (Histogram.max_value h);
+  check_int "one live timeline" 1 (Obs.Commit_path.live_timelines cp);
+  Obs.Commit_path.clear cp;
+  check_int "cleared" 0 (Obs.Commit_path.live_timelines cp)
+
+let test_commit_path_eviction () =
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Trace.create () in
+  let cp = Obs.Commit_path.create ~capacity:8 ~registry:reg ~trace:tr () in
+  for lsn = 1 to 20 do
+    Obs.Commit_path.mark cp ~at:lsn ~lsn Obs.Trace.Lsn_allocated
+  done;
+  check_int "timelines capped" 8 (Obs.Commit_path.live_timelines cp);
+  (* A mark on an evicted LSN is dropped, not resurrected. *)
+  Obs.Commit_path.mark cp ~at:100 ~lsn:1 Obs.Trace.Boxcar_flushed;
+  check_int "evicted lsn not resurrected" 8 (Obs.Commit_path.live_timelines cp)
+
+(* ---- whole-cluster determinism ---- *)
+
+let run_cluster seed =
+  let cluster =
+    Harness.Cluster.create { Harness.Cluster.default_config with seed }
+  in
+  Obs.Ctx.enable_tracing (Harness.Cluster.obs cluster);
+  let sim = Harness.Cluster.sim cluster in
+  let gen =
+    Workload.Txn_gen.create ~sim ~rng:(Rng.create (seed + 1))
+      ~db:(Harness.Cluster.db cluster)
+      ~profile:Workload.Txn_gen.default_profile ()
+  in
+  Workload.Txn_gen.run_open_loop gen ~rate_per_sec:2000.
+    ~duration:(Time_ns.ms 100);
+  Sim.run_until sim (Time_ns.sec 2);
+  let obs = Harness.Cluster.obs cluster in
+  Obs.Json.to_string
+    (Obs.Ctx.snapshot_at ~at:(Sim.now sim) ~trace_tail:50 obs)
+
+let test_cluster_snapshot_deterministic () =
+  let a = run_cluster 11 in
+  let b = run_cluster 11 in
+  check_str "same seed, byte-identical snapshots" a b;
+  let c = run_cluster 12 in
+  Alcotest.(check bool) "different seed differs" false (String.equal a c)
+
+let test_cluster_snapshot_contents () =
+  let s = run_cluster 11 in
+  let has sub = Astring_contains.contains s sub in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "snapshot has %s" needle) true
+        (has needle))
+    [
+      (* marquee commit-path stage histograms *)
+      "boxcar_flushed\xe2\x86\x92node_acked";
+      "vcl_advanced\xe2\x86\x92commit_acked";
+      (* every pre-existing ad-hoc metric record surfaces *)
+      "db_txns_committed";
+      "db_commit_latency_ns";
+      "net_dropped_random";
+      "storage_records_stored";
+      "read_latency_ns";
+      "pg_pgcl";
+    ];
+  (* Marquee histograms must have nonzero counts: find the first
+     commit_stage_ns entry for the marquee label and check count > 0. *)
+  let idx =
+    match Astring_contains.find s "boxcar_flushed\xe2\x86\x92node_acked" with
+    | Some i -> i
+    | None -> Alcotest.fail "marquee label missing"
+  in
+  let count_idx =
+    match Astring_contains.find ~start:idx s "\"count\":" with
+    | Some i -> i + String.length "\"count\":"
+    | None -> Alcotest.fail "no count after marquee label"
+  in
+  Alcotest.(check bool) "marquee count nonzero" true
+    (s.[count_idx] <> '0')
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "identity" `Quick test_registry_identity;
+          Alcotest.test_case "snapshot filter" `Quick
+            test_registry_snapshot_filter;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_trace_ring;
+          Alcotest.test_case "disabled zero-alloc" `Quick
+            test_trace_disabled_zero_alloc;
+        ] );
+      ( "commit path",
+        [
+          Alcotest.test_case "stage pairs" `Quick test_commit_path_pairs;
+          Alcotest.test_case "timeline eviction" `Quick
+            test_commit_path_eviction;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "snapshot determinism" `Quick
+            test_cluster_snapshot_deterministic;
+          Alcotest.test_case "snapshot contents" `Quick
+            test_cluster_snapshot_contents;
+        ] );
+    ]

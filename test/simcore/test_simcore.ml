@@ -275,6 +275,29 @@ let test_time_units () =
   check_int "of_float_us" 1_500 (Time_ns.of_float_us 1.5);
   Alcotest.(check string) "pp ms" "1.50ms" (Time_ns.to_string (Time_ns.us 1500))
 
+let test_trace_ring_eviction () =
+  let tr = Trace.create ~capacity:4 () in
+  Trace.enable tr;
+  for i = 1 to 6 do
+    Trace.record tr ~at:(Time_ns.ns i) (Printf.sprintf "e%d" i)
+  done;
+  check_int "length capped" 4 (Trace.length tr);
+  Alcotest.(check (list string))
+    "oldest evicted" [ "e3"; "e4"; "e5"; "e6" ]
+    (List.map snd (Trace.events tr));
+  Trace.clear tr;
+  check_int "cleared" 0 (Trace.length tr)
+
+let test_trace_disabled_noop () =
+  let tr = Trace.create ~capacity:4 () in
+  Trace.record tr ~at:(Time_ns.ns 1) "dropped";
+  check_int "disabled records nothing" 0 (Trace.length tr);
+  Trace.enable tr;
+  Trace.record tr ~at:(Time_ns.ns 2) "kept";
+  Trace.disable tr;
+  Trace.record tr ~at:(Time_ns.ns 3) "dropped again";
+  check_int "only enabled-window events" 1 (Trace.length tr)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "simcore"
@@ -328,4 +351,9 @@ let () =
           Alcotest.test_case "ewma" `Quick test_ewma;
         ] );
       ("time", [ Alcotest.test_case "units" `Quick test_time_units ]);
+      ( "trace",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_trace_ring_eviction;
+          Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+        ] );
     ]
