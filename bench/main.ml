@@ -87,6 +87,44 @@ let bench_sim_events () =
       ignore (Sim.schedule sim ~delay:1 (fun () -> ()) : Sim.event_id);
       ignore (Sim.step sim : bool))
 
+let bench_series_sample () =
+  (* Steady-state sampler tick over a registry shaped like the cluster's:
+     a handful of counters, one latency histogram percentile, gauges.
+     Includes the occasional decimation pass, so this is the amortised
+     per-tick cost the sim-clock timer pays. *)
+  let reg = Obs.Registry.create () in
+  let s = Obs.Series.create ~capacity:512 ~registry:reg () in
+  let counters =
+    List.init 8 (fun i ->
+        let name = Printf.sprintf "bench_c%d" i in
+        let c = Obs.Registry.counter reg name in
+        Obs.Series.track_counter s name;
+        c)
+  in
+  let h = Obs.Registry.histogram reg "bench_lat_ns" in
+  Obs.Series.track_histogram s ~pct:99. "bench_lat_ns";
+  let g = Obs.Registry.gauge reg "bench_gauge" in
+  Obs.Series.track_gauge s "bench_gauge";
+  let at = ref 0 in
+  Bechamel.Staged.stage (fun () ->
+      List.iter incr counters;
+      Histogram.record h (at.contents land 0xffff);
+      g := float_of_int !at;
+      at := !at + 1_000_000;
+      Obs.Series.sample s ~at:!at)
+
+let bench_health_sample () =
+  (* Full cluster-health probe: per-PG quorum margins by exhaustive subset
+     enumeration (2 PGs x 2^6 subsets), AZ+1 tolerance, volume gaps. *)
+  let cluster =
+    Harness.Cluster.create { Harness.Cluster.default_config with seed = 3 }
+  in
+  Sim.run_until (Harness.Cluster.sim cluster) (Time_ns.ms 100);
+  let at = ref (Sim.now (Harness.Cluster.sim cluster)) in
+  Bechamel.Staged.stage (fun () ->
+      incr at;
+      ignore (Harness.Cluster.health_sample cluster ~at:!at : Obs.Health.sample))
+
 let bench_zipf () =
   let z = Workload.Zipf.create ~n:100_000 ~theta:0.99 in
   let rng = Rng.create 7 in
@@ -103,6 +141,8 @@ let run_micro () =
       Test.make ~name:"hot-log: insert + SCL advance" (bench_hot_log ());
       Test.make ~name:"histogram: record" (bench_histogram ());
       Test.make ~name:"sim: schedule + dispatch event" (bench_sim_events ());
+      Test.make ~name:"series: sampler tick (amortised)" (bench_series_sample ());
+      Test.make ~name:"health: cluster probe + margins" (bench_health_sample ());
       Test.make ~name:"zipf: sample" (bench_zipf ());
     ]
   in

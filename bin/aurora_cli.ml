@@ -5,7 +5,9 @@
      dune exec bin/aurora_cli.exe -- exp all
      dune exec bin/aurora_cli.exe -- bench
      dune exec bin/aurora_cli.exe -- smoke --txns 2000 --pgs 4
-     dune exec bin/aurora_cli.exe -- obs --json --trace-tail 20 *)
+     dune exec bin/aurora_cli.exe -- obs --json --trace-tail 20
+     dune exec bin/aurora_cli.exe -- obs --series --window 25
+     dune exec bin/aurora_cli.exe -- trace-export --out trace.json *)
 
 open Cmdliner
 module E = Harness.Experiments
@@ -48,10 +50,19 @@ let exp_cmd =
 
 (* Shared smoke workload: an open-loop transaction mix against a default
    cluster, run to quiescence. *)
-let run_workload ~txns ~pgs ~seed ~tracing =
+let run_workload ?window_ms ~txns ~pgs ~seed ~tracing () =
   let open Simcore in
   let cluster =
-    Harness.Cluster.create { Harness.Cluster.default_config with seed; n_pgs = pgs }
+    Harness.Cluster.create
+      {
+        Harness.Cluster.default_config with
+        seed;
+        n_pgs = pgs;
+        obs_sample_period =
+          (match window_ms with
+          | Some ms -> Time_ns.ms ms
+          | None -> Harness.Cluster.default_config.Harness.Cluster.obs_sample_period);
+      }
   in
   if tracing then Obs.Ctx.enable_tracing (Harness.Cluster.obs cluster);
   let sim = Harness.Cluster.sim cluster in
@@ -131,16 +142,57 @@ let print_snapshot ~json cluster ~where ~trace_tail =
     match trace_tail with
     | None -> ()
     | Some n ->
-      Printf.printf "-- trace (last %d events) --\n" n;
+      let tr = Obs.Ctx.trace obs in
+      Printf.printf
+        "-- trace (last %d of %d events; ring capacity %d, %d dropped) --\n"
+        (min n (Obs.Trace.length tr))
+        (Obs.Trace.length tr) (Obs.Trace.capacity tr) (Obs.Trace.dropped tr);
       List.iter
         (fun ev -> Format.printf "%a@." Obs.Trace.pp_event ev)
-        (Obs.Trace.tail (Obs.Ctx.trace obs) n)
+        (Obs.Trace.tail tr n)
   end
+
+(* Time-series table: one row per retained sample (down-sampled to ~40
+   rows), one column per channel, with a legend mapping short column ids to
+   channel labels. *)
+let print_series cluster =
+  let open Simcore in
+  let series = Obs.Ctx.series (Harness.Cluster.obs cluster) in
+  let labels = Obs.Series.channel_labels series in
+  let ts = Obs.Series.timestamps series in
+  let n = Array.length ts in
+  Printf.printf "-- time series: %d samples, %d channels, stride %d --\n" n
+    (List.length labels) (Obs.Series.stride series);
+  List.iteri (fun i l -> Printf.printf "  c%-2d = %s\n" (i + 1) l) labels;
+  let cols =
+    List.map
+      (fun l ->
+        match Obs.Series.points series l with
+        | Some pts -> pts
+        | None -> [||])
+      labels
+  in
+  Printf.printf "%12s" "t";
+  List.iteri (fun i _ -> Printf.printf " %10s" (Printf.sprintf "c%d" (i + 1))) labels;
+  print_newline ();
+  let step = max 1 (n / 40) in
+  for i = 0 to n - 1 do
+    if i mod step = 0 || i = n - 1 then begin
+      Printf.printf "%12s" (Time_ns.to_string ts.(i));
+      List.iter
+        (fun pts ->
+          let v = pts.(i) in
+          if Float.is_nan v then Printf.printf " %10s" "-"
+          else Printf.printf " %10.4g" v)
+        cols;
+      print_newline ()
+    end
+  done
 
 let run_smoke txns pgs seed json =
   let open Simcore in
   let module Database = Aurora_core.Database in
-  let cluster, gen = run_workload ~txns ~pgs ~seed ~tracing:false in
+  let cluster, gen = run_workload ~txns ~pgs ~seed ~tracing:false () in
   if json then print_snapshot ~json:true cluster ~where:[] ~trace_tail:None
   else begin
     let db = Harness.Cluster.db cluster in
@@ -177,14 +229,22 @@ let smoke_cmd =
     (Cmd.info "smoke" ~doc:"Run a quick cluster workload and print metrics")
     Term.(const run_smoke $ txns_arg $ pgs_arg $ seed_arg $ json_arg)
 
-let run_obs txns pgs seed json trace_tail pg az =
-  let cluster, _gen = run_workload ~txns ~pgs ~seed ~tracing:true in
+let run_obs txns pgs seed json trace_tail pg az series window_ms =
+  let cluster, _gen = run_workload ?window_ms ~txns ~pgs ~seed ~tracing:true () in
   let where =
     (match pg with Some p -> [ ("pg", string_of_int p) ] | None -> [])
     @ (match az with Some a -> [ ("az", a) ] | None -> [])
   in
   let trace_tail = if trace_tail > 0 then Some trace_tail else None in
-  print_snapshot ~json cluster ~where ~trace_tail
+  print_snapshot ~json cluster ~where ~trace_tail;
+  if series && not json then print_series cluster
+
+let window_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "window" ] ~docv:"MS"
+        ~doc:"Sampling window (observability sampler period) in milliseconds.")
 
 let obs_cmd =
   let trace_tail =
@@ -207,6 +267,15 @@ let obs_cmd =
           ~doc:"Keep only instruments of this availability zone, e.g. az1 \
                 (plus globals).")
   in
+  let series =
+    Arg.(
+      value & flag
+      & info [ "series" ]
+          ~doc:
+            "Print the sampled time series (throughput rates, commit-latency \
+             percentiles, health gauges) as a table.  With $(b,--json) the \
+             series is embedded in the snapshot instead.")
+  in
   Cmd.v
     (Cmd.info "obs"
        ~doc:
@@ -214,7 +283,33 @@ let obs_cmd =
           the observability snapshot")
     Term.(
       const run_obs $ txns_arg $ pgs_arg $ seed_arg $ json_arg $ trace_tail
-      $ pg $ az)
+      $ pg $ az $ series $ window_arg)
+
+let run_trace_export txns pgs seed window_ms out =
+  let cluster, _gen = run_workload ?window_ms ~txns ~pgs ~seed ~tracing:true () in
+  let json = Obs.Chrome_export.to_string (Harness.Cluster.obs cluster) in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  let tr = Obs.Ctx.trace (Harness.Cluster.obs cluster) in
+  Printf.printf "wrote %s (%d trace events, %d dropped; open in Perfetto or \
+                 chrome://tracing)\n"
+    out (Obs.Trace.length tr) (Obs.Trace.dropped tr)
+
+let trace_export_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "aurora-trace.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "trace-export"
+       ~doc:
+         "Run the traced smoke workload and write the commit-path timeline \
+          plus trace events as Chrome trace-event JSON")
+    Term.(
+      const run_trace_export $ txns_arg $ pgs_arg $ seed_arg $ window_arg $ out)
 
 let bench_cmd =
   Cmd.v
@@ -232,4 +327,6 @@ let () =
          for I/Os, Commits, and Membership Changes' (SIGMOD'18)"
   in
   exit
-    (Cmd.eval (Cmd.group ~default info [ exp_cmd; smoke_cmd; obs_cmd; bench_cmd ]))
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ exp_cmd; smoke_cmd; obs_cmd; trace_export_cmd; bench_cmd ]))

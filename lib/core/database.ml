@@ -104,9 +104,9 @@ let sim t = t.sim
 let addr t = t.addr
 let obs t = t.obs
 
-let mark_stage t ~lsn ?member stage =
+let mark_stage t ~lsn ?member ?pg stage =
   Obs.Commit_path.mark (Obs.Ctx.commit_path t.obs) ~at:(Sim.now t.sim)
-    ~lsn:(Lsn.to_int lsn) ?member stage
+    ~lsn:(Lsn.to_int lsn) ?member ?pg stage
 let volume t = t.volume
 let config t = t.config
 let consistency t = t.consistency
@@ -117,6 +117,7 @@ let txn_table t = t.txns
 let is_open t = t.open_
 let vcl t = Consistency.vcl t.consistency
 let vdl t = Consistency.vdl t.consistency
+let commit_queue_depth t = Commit_queue.pending t.commit_queue
 
 let mean_batch_size t =
   let batches = ref 0 and records = ref 0 in
@@ -230,7 +231,7 @@ let obs_unacked_queue t pg =
 let submit_record t (record : Log_record.t) (g : Volume.pg) =
   Consistency.note_submitted t.consistency ~pg:g.Volume.id ~lsn:record.lsn
     ~mtr_end:record.mtr_end;
-  mark_stage t ~lsn:record.lsn Obs.Trace.Lsn_allocated;
+  mark_stage t ~lsn:record.lsn ~pg:(Pg_id.to_int g.Volume.id) Obs.Trace.Lsn_allocated;
   Queue.push record.lsn (obs_unacked_queue t g.Volume.id);
   Queue.push record.lsn t.obs_vdl_pending;
   Buffer_cache.apply t.cache record ~vdl:(vdl t);
@@ -584,7 +585,7 @@ let handle_message t (env : Protocol.t Simnet.Net.envelope) =
           match Queue.peek_opt q with
           | Some lsn when Lsn.(lsn <= scl) ->
             ignore (Queue.pop q : Lsn.t);
-            mark_stage t ~lsn ~member Obs.Trace.Node_acked
+            mark_stage t ~lsn ~member ~pg:(Pg_id.to_int pg) Obs.Trace.Node_acked
           | Some _ | None -> continue := false
         done);
       Consistency.note_ack t.consistency ~pg ~seg ~scl

@@ -81,6 +81,10 @@ val is_open : t -> bool
 val vcl : t -> Lsn.t
 val vdl : t -> Lsn.t
 
+val commit_queue_depth : t -> int
+(** Transactions waiting for SCN <= VCL (the health monitor's
+    commit-queue-depth signal). *)
+
 val block_of_key : t -> string -> Block_id.t
 
 val mean_batch_size : t -> float

@@ -16,6 +16,7 @@ type config = {
   storage_config : Storage.Storage_node.config;
   intra_az_latency : Distribution.t;
   inter_az_latency : Distribution.t;
+  obs_sample_period : Time_ns.t;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     storage_config = Storage.Storage_node.default_config;
     intra_az_latency = Distribution.lognormal ~median:(Time_ns.us 250) ~sigma:0.35;
     inter_az_latency = Distribution.lognormal ~median:(Time_ns.ms 1) ~sigma:0.35;
+    obs_sample_period = Time_ns.ms 50;
   }
 
 type node_slot = {
@@ -51,6 +53,7 @@ type t = {
   az_of : Az.t Simnet.Addr.Tbl.t;
   addr_alloc : Simnet.Addr.Allocator.t;
   mutable replica_list : Replica.t list;
+  mutable last_health : Obs.Health.sample option;
 }
 
 let sim t = t.sim
@@ -84,6 +87,165 @@ let make_storage_node t ~az =
   make_storage_node_raw ~sim:t.sim ~rng:t.rng ~net:t.net ~s3:t.s3
     ~storage_config:t.cfg.storage_config ~addr_alloc:t.addr_alloc
     ~az_of:t.az_of ~obs:t.obs ~az
+
+(* ---- cluster health probe (feeds Obs.Health each sampler tick) ---- *)
+
+let popcount =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  fun v -> go 0 v
+
+(* Fewest additional healthy-member losses that break [q]; -1 when [q] is
+   already unsatisfiable on [healthy].  Member counts are <= ~7 even during
+   membership transitions, so exhaustive subset enumeration is cheap —
+   the same argument the paper makes for quorum-set safety checking. *)
+let quorum_margin q healthy =
+  if not (Quorum_set.satisfied q healthy) then -1
+  else begin
+    let arr = Array.of_seq (Member_id.Set.to_seq healthy) in
+    let n = Array.length arr in
+    let best = ref (n + 1) in
+    for mask = 1 to (1 lsl n) - 1 do
+      let c = popcount mask in
+      if c < !best then begin
+        let remaining = ref healthy in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) <> 0 then
+            remaining := Member_id.Set.remove arr.(i) !remaining
+        done;
+        if not (Quorum_set.satisfied q !remaining) then best := c
+      end
+    done;
+    if !best > n then n else !best - 1
+  end
+
+(* §2.1's durability target: data survives the loss of one whole AZ plus
+   one more node.  True iff, for every AZ and every single survivor beyond
+   it, the read quorum is still satisfiable on what remains. *)
+let az_plus_one_ok read_q slots =
+  let healthy = List.filter (fun s -> Storage.Storage_node.is_alive s.node) slots in
+  let azs =
+    List.sort_uniq Az.compare (List.map (fun s -> s.member.Membership.az) slots)
+  in
+  List.for_all
+    (fun az ->
+      let survivors =
+        List.filter (fun s -> not (Az.equal s.member.Membership.az az)) healthy
+      in
+      survivors <> []
+      && List.for_all
+           (fun x ->
+             let set =
+               List.fold_left
+                 (fun acc s ->
+                   if s == x then acc
+                   else Member_id.Set.add s.member.Membership.id acc)
+                 Member_id.Set.empty survivors
+             in
+             Quorum_set.satisfied read_q set)
+           survivors)
+    azs
+
+let health_sample t ~at =
+  let consistency = Database.consistency t.db in
+  let volume = Database.volume t.db in
+  let pgs =
+    Pg_id.Tbl.fold (fun pg pgn acc -> (pg, pgn) :: acc) t.pg_nodes []
+    |> List.sort (fun (a, _) (b, _) -> Pg_id.compare a b)
+    |> List.map (fun (pg, pgn) ->
+           let g = Volume.find_pg volume pg in
+           let rule = Volume.rule g in
+           let healthy =
+             List.fold_left
+               (fun acc s ->
+                 if Storage.Storage_node.is_alive s.node then
+                   Member_id.Set.add s.member.Membership.id acc
+                 else acc)
+               Member_id.Set.empty pgn.slots
+           in
+           let pgcl = Aurora_core.Consistency.pgcl consistency pg in
+           let current =
+             Aurora_core.Consistency.segments_at_or_above consistency ~pg ~lsn:pgcl
+           in
+           {
+             Obs.Health.pg = Pg_id.to_int pg;
+             total = List.length pgn.slots;
+             reachable = Member_id.Set.cardinal healthy;
+             ack_current = Member_id.Set.cardinal (Member_id.Set.inter current healthy);
+             write_margin = quorum_margin rule.Quorum_set.Rule.write healthy;
+             read_margin = quorum_margin rule.Quorum_set.Rule.read healthy;
+             az_plus_one = az_plus_one_ok rule.Quorum_set.Rule.read pgn.slots;
+             epoch = Epoch.to_int (Membership.epoch g.Volume.membership);
+           })
+  in
+  let vdl = Wal.Lsn.to_int (Database.vdl t.db) in
+  let vcl = Wal.Lsn.to_int (Database.vcl t.db) in
+  let max_lag =
+    List.fold_left
+      (fun acc r -> max acc (vdl - Wal.Lsn.to_int (Replica.vdl_seen r)))
+      0 t.replica_list
+  in
+  {
+    Obs.Health.at;
+    pgs;
+    volume =
+      {
+        Obs.Health.vdl_vcl_gap = vcl - vdl;
+        commit_queue_depth = Database.commit_queue_depth t.db;
+        max_replica_lag = max_lag;
+      };
+  }
+
+let min_write_margin (s : Obs.Health.sample) =
+  List.fold_left
+    (fun acc (p : Obs.Health.pg_sample) -> min acc p.write_margin)
+    max_int s.pgs
+  |> fun m -> if m = max_int then 0 else m
+
+let install_observability t =
+  let reg = Obs.Ctx.registry t.obs in
+  let series = Obs.Ctx.series t.obs in
+  let health = Obs.Ctx.health t.obs in
+  let on_last f default () =
+    match t.last_health with None -> default | Some s -> f s
+  in
+  Obs.Registry.gauge_fn reg "health_write_available"
+    (on_last
+       (fun s -> if Obs.Health.sample_write_available s then 1. else 0.)
+       1.);
+  Obs.Registry.gauge_fn reg "health_min_write_margin"
+    (on_last (fun s -> float_of_int (min_write_margin s)) 0.);
+  Obs.Registry.gauge_fn reg "health_az_plus_one"
+    (on_last
+       (fun s ->
+         if List.for_all (fun (p : Obs.Health.pg_sample) -> p.az_plus_one) s.pgs
+         then 1.
+         else 0.)
+       1.);
+  Obs.Registry.gauge_fn reg "health_vdl_vcl_gap"
+    (on_last (fun s -> float_of_int s.volume.Obs.Health.vdl_vcl_gap) 0.);
+  Obs.Registry.gauge_fn reg "health_commit_queue_depth" (fun () ->
+      float_of_int (Database.commit_queue_depth t.db));
+  Obs.Registry.gauge_fn reg "health_max_replica_lag"
+    (on_last (fun s -> float_of_int s.volume.Obs.Health.max_replica_lag) 0.);
+  (* Default time-series channels: throughput rates, commit-latency
+     percentiles, and the health gauges just registered. *)
+  Obs.Series.track_counter series "db_txns_committed";
+  Obs.Series.track_counter series "db_records_written";
+  Obs.Series.track_histogram series ~pct:50. "db_commit_latency_ns";
+  Obs.Series.track_histogram series ~pct:99. "db_commit_latency_ns";
+  Obs.Series.track_gauge series "health_write_available";
+  Obs.Series.track_gauge series "health_min_write_margin";
+  Obs.Series.track_gauge series "health_az_plus_one";
+  Obs.Series.track_gauge series "health_vdl_vcl_gap";
+  Obs.Series.track_gauge series "health_commit_queue_depth";
+  Obs.Series.track_gauge series "health_max_replica_lag";
+  Sim.every t.sim ~interval:t.cfg.obs_sample_period (fun () ->
+      let at = Sim.now t.sim in
+      let s = health_sample t ~at in
+      t.last_health <- Some s;
+      Obs.Health.observe health ~at s;
+      Obs.Series.sample series ~at;
+      true)
 
 let create cfg =
   let sim = Sim.create () in
@@ -148,8 +310,12 @@ let create cfg =
       ~config:cfg.db_config ~obs ()
   in
   Database.start db;
-  { cfg; sim; rng; net; s3; db; obs; pg_nodes; az_of; addr_alloc;
-    replica_list = [] }
+  let t =
+    { cfg; sim; rng; net; s3; db; obs; pg_nodes; az_of; addr_alloc;
+      replica_list = []; last_health = None }
+  in
+  install_observability t;
+  t
 
 let storage_nodes t =
   Pg_id.Tbl.fold
@@ -191,6 +357,10 @@ let add_replica t =
   Replica.start replica;
   Database.attach_replica t.db addr;
   t.replica_list <- replica :: t.replica_list;
+  (* Per-replica lag timeline (E9's measurement). *)
+  Obs.Series.track_histogram (Obs.Ctx.series t.obs)
+    ~labels:[ ("node", string_of_int (Simnet.Addr.to_int addr)) ]
+    ~pct:99. "replica_stream_lag_ns";
   replica
 
 let replicas t = t.replica_list
@@ -425,5 +595,6 @@ let change_scheme_3_of_4 t pg ~drop_az =
         Ok ()
     end)
 
+let last_health t = t.last_health
 let run_for t span = Sim.run_until t.sim (Time_ns.add (Sim.now t.sim) span)
 let run_until_quiesced t = Sim.run t.sim

@@ -22,11 +22,16 @@ type config = {
   storage_config : Storage.Storage_node.config;
   intra_az_latency : Simcore.Distribution.t;
   inter_az_latency : Simcore.Distribution.t;
+  obs_sample_period : Simcore.Time_ns.t;
+      (** Period of the observability sampler the cluster installs on the
+          sim clock: each tick computes a cluster-health sample (feeding
+          {!Obs.Health}, including quorum-loss edge events) and records one
+          point per tracked {!Obs.Series} channel. *)
 }
 
 val default_config : config
 (** seed 42, 2 PGs, V6 layout, lognormal link latencies (~250us intra-AZ,
-    ~1ms inter-AZ medians). *)
+    ~1ms inter-AZ medians), 50 ms sampling. *)
 
 type t
 
@@ -42,7 +47,22 @@ val rng : t -> Simcore.Rng.t
 
 val obs : t -> Obs.Ctx.t
 (** The cluster-wide observability context: one registry + trace shared by
-    the network, the writer, every storage node, and every replica. *)
+    the network, the writer, every storage node, and every replica.  The
+    cluster also drives the context's series sampler and health monitor
+    (period [obs_sample_period]) and registers volume-level health gauges:
+    [health_write_available], [health_min_write_margin],
+    [health_az_plus_one], [health_vdl_vcl_gap], [health_commit_queue_depth],
+    [health_max_replica_lag]. *)
+
+val health_sample : t -> at:Simcore.Time_ns.t -> Obs.Health.sample
+(** Compute one cluster-health sample now (quorum margins by exhaustive
+    subset enumeration over each group's current rule, AZ+1 tolerance,
+    ack-current segment counts, volume-level gaps).  The installed sampler
+    calls this every [obs_sample_period]; exposed for tests and ad-hoc
+    probes. *)
+
+val last_health : t -> Obs.Health.sample option
+(** Latest sample taken by the installed sampler. *)
 
 val storage_nodes : t -> Storage.Storage_node.t list
 val node_of_member :

@@ -430,6 +430,13 @@ module E5 = struct
     replacement_caught_up : bool;
     revert_worked : bool;
     lost_acked_commits : int;
+    availability_window : Time_ns.t;
+    availability : (Time_ns.t * bool * bool) list;
+        (* (offset from change start, aurora write-available,
+           blocking-baseline write-available) per window *)
+    aurora_window_fraction : float;
+    baseline_window_fraction : float;
+    online_write_available : float; (* Obs.Health accumulator, whole run *)
   }
 
   let membership_epoch cluster pg =
@@ -514,6 +521,41 @@ module E5 = struct
       in
       gaps Time_ns.zero sorted
     in
+    (* Availability timeline (Figure 1 / §4 shape): fixed windows across
+       the change; Aurora is available in a window iff some commit acked
+       in it, while a stop-the-world baseline would additionally be dark
+       for the whole hydration. *)
+    let window = Time_ns.ms 250 in
+    let all_acks =
+      List.map
+        (fun (a : Workload.Txn_gen.acked) -> a.acked_at)
+        (Workload.Txn_gen.acked_writes gen)
+    in
+    let n_windows =
+      max 1 ((Time_ns.diff change_end change_start + window - 1) / window)
+    in
+    let stall_end = Time_ns.add change_start hydration_time in
+    let availability =
+      List.init n_windows (fun i ->
+          let w0 = Time_ns.add change_start (i * window) in
+          let w1 = Time_ns.min change_end (Time_ns.add w0 window) in
+          let aurora =
+            List.exists
+              (fun a -> Time_ns.compare a w0 >= 0 && Time_ns.compare a w1 < 0)
+              all_acks
+          in
+          let baseline = aurora && Time_ns.compare w0 stall_end >= 0 in
+          (Time_ns.diff w0 change_start, aurora, baseline))
+    in
+    let fraction f =
+      float_of_int (List.length (List.filter f availability))
+      /. float_of_int n_windows
+    in
+    let aurora_window_fraction = fraction (fun (_, a, _) -> a) in
+    let baseline_window_fraction = fraction (fun (_, _, b) -> b) in
+    let online_write_available =
+      Obs.Health.write_available_fraction (Obs.Ctx.health (Cluster.obs cluster))
+    in
     let _, lost =
       audit_durability ~sim
         ~get:(fun ~key cb -> Database.get db ~key cb)
@@ -553,6 +595,11 @@ module E5 = struct
       replacement_caught_up = !caught_up_at <> None;
       revert_worked;
       lost_acked_commits = lost;
+      availability_window = window;
+      availability;
+      aurora_window_fraction;
+      baseline_window_fraction;
+      online_write_available;
     }
 
   let report t =
@@ -576,9 +623,36 @@ module E5 = struct
     Report.row r [ "replacement hydrated"; string_of_bool t.replacement_caught_up ];
     Report.row r [ "revert path works"; string_of_bool t.revert_worked ];
     Report.row r [ "acked commits lost"; string_of_int t.lost_acked_commits ];
+    Report.row r
+      [
+        "write-available windows (aurora)"; Report.pct t.aurora_window_fraction;
+      ];
+    Report.row r
+      [
+        "write-available windows (blocking baseline)";
+        Report.pct t.baseline_window_fraction;
+      ];
+    Report.row r
+      [
+        "write-available time (online health monitor)";
+        Report.pct t.online_write_available;
+      ];
     Report.note r
       "expected shape: commit gap << stop-the-world stall; epochs increment \
        by 1 per transition; zero loss";
+    let sub =
+      Report.create
+        ~title:
+          (Printf.sprintf "availability over the change (%s windows)"
+             (Report.time t.availability_window))
+        ~columns:[ "t after change start"; "aurora"; "blocking baseline" ]
+    in
+    List.iter
+      (fun (off, aurora, baseline) ->
+        let mark b = if b then "up" else "DOWN" in
+        Report.row sub [ Report.time off; mark aurora; mark baseline ])
+      t.availability;
+    Report.add_subtable r sub;
     r
 end
 
@@ -1043,6 +1117,10 @@ module E9 = struct
     promoted : bool;
     acked_commits : int;
     lost_after_promotion : int;
+    lag_timeline : (Time_ns.t * float) list;
+        (* (sim time, per-window p99 stream lag ns) from the cluster's
+           series sampler; windows with no stream chunks are omitted *)
+    lag_timeline_max : float;
   }
 
   let run ?(seed = 61) () =
@@ -1098,6 +1176,26 @@ module E9 = struct
     Sim.run_until sim (Time_ns.add (Sim.now sim) (Time_ns.sec 10));
     let m = Replica.metrics replica in
     let lag = m.Replica.stream_lag in
+    (* Lag-over-time from the cluster's sampler: the per-window p99 of the
+       replica's stream-lag histogram, captured before the writer dies. *)
+    let series = Obs.Ctx.series (Cluster.obs cluster) in
+    let lag_label =
+      Printf.sprintf "replica_stream_lag_ns{node=%d}.p99"
+        (Simnet.Addr.to_int (Replica.addr replica))
+    in
+    let lag_timeline =
+      match Obs.Series.points series lag_label with
+      | None -> []
+      | Some pts ->
+        let ts = Obs.Series.timestamps series in
+        List.filter_map
+          (fun i ->
+            if Float.is_nan pts.(i) then None else Some (ts.(i), pts.(i)))
+          (List.init (Array.length ts) Fun.id)
+    in
+    let lag_timeline_max =
+      List.fold_left (fun acc (_, v) -> Float.max acc v) 0. lag_timeline
+    in
     (* Writer dies; replica takes over. *)
     Database.crash db;
     Sim.run_until sim (Time_ns.add (Sim.now sim) (Time_ns.ms 100));
@@ -1131,6 +1229,8 @@ module E9 = struct
       promoted = new_db <> None;
       acked_commits = Workload.Txn_gen.acked gen;
       lost_after_promotion = lost;
+      lag_timeline;
+      lag_timeline_max;
     }
 
   let report t =
@@ -1151,9 +1251,23 @@ module E9 = struct
     Report.row r [ "acked commits before crash"; string_of_int t.acked_commits ];
     Report.row r
       [ "acked commits lost after promotion"; string_of_int t.lost_after_promotion ];
+    Report.row r [ "max windowed lag p99"; Report.ns t.lag_timeline_max ];
     Report.note r
       "expected shape: millisecond-scale lag; zero acked commits lost on \
        promotion (shared durable storage)";
+    (* Down-sample the timeline to <= 12 evenly spaced rows. *)
+    let sub =
+      Report.create ~title:"replica stream lag over time (per-window p99)"
+        ~columns:[ "t"; "lag p99" ]
+    in
+    let n = List.length t.lag_timeline in
+    let step = max 1 (n / 12) in
+    List.iteri
+      (fun i (at, v) ->
+        if i mod step = 0 || i = n - 1 then
+          Report.row sub [ Report.time at; Report.ns v ])
+      t.lag_timeline;
+    Report.add_subtable r sub;
     r
 end
 

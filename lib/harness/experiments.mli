@@ -98,6 +98,16 @@ module E5 : sig
     replacement_caught_up : bool;
     revert_worked : bool;  (** Second run exercising the revert path. *)
     lost_acked_commits : int;
+    availability_window : Simcore.Time_ns.t;  (** Timeline bucket width. *)
+    availability : (Simcore.Time_ns.t * bool * bool) list;
+        (** Per window: (offset from change start, Aurora write-available,
+            blocking-baseline write-available).  The baseline is the same
+            ack stream zeroed for the hydration interval — what a
+            stop-the-world membership change would look like. *)
+    aurora_window_fraction : float;
+    baseline_window_fraction : float;
+    online_write_available : float;
+        (** {!Obs.Health.write_available_fraction} over the whole run. *)
   }
 
   val run : ?seed:int -> unit -> t
@@ -180,6 +190,10 @@ module E9 : sig
     promoted : bool;
     acked_commits : int;
     lost_after_promotion : int;  (** Must be 0. *)
+    lag_timeline : (Simcore.Time_ns.t * float) list;
+        (** Per sampler window: (sim time, p99 stream lag ns), from the
+            cluster's {!Obs.Series}; empty windows omitted. *)
+    lag_timeline_max : float;
   }
 
   val run : ?seed:int -> unit -> t

@@ -1,0 +1,119 @@
+let pid = 1
+
+(* Lane 0 is the volume-level lane; pg [g] maps to tid [g + 1]. *)
+let tid_of_pg pg = if pg < 0 then 0 else pg + 1
+
+let us_of_ns ns = float_of_int ns /. 1000.0
+
+let base ~name ~ph ~ts ~tid rest =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String ph);
+       ("ts", Json.Float ts);
+       ("pid", Json.Int pid);
+       ("tid", Json.Int tid);
+     ]
+    @ rest)
+
+let thread_name_meta tid label =
+  base ~name:"thread_name" ~ph:"M" ~ts:0.0 ~tid
+    [ ("args", Json.Obj [ ("name", Json.String label) ]) ]
+
+let span ~name ~id ~tid ~ts_b ~ts_e acc =
+  let mk ph ts =
+    base ~name ~ph ~ts ~tid
+      [ ("cat", Json.String "commit"); ("id", Json.Int id) ]
+  in
+  mk "e" ts_e :: mk "b" ts_b :: acc
+
+(* One umbrella span per commit plus one sub-span per adjacent observed
+   stage pair, all sharing id = lsn so Perfetto nests them in one track. *)
+let timeline_events acc (lsn, pg, stages) =
+  let tid = tid_of_pg pg in
+  let observed =
+    List.filter (fun i -> stages.(i) >= 0) (List.init Trace.n_stages Fun.id)
+  in
+  match observed with
+  | [] | [ _ ] -> acc
+  | first :: _ ->
+    let last = List.fold_left (fun _ i -> i) first observed in
+    let acc =
+      span
+        ~name:(Printf.sprintf "commit lsn=%d" lsn)
+        ~id:lsn ~tid ~ts_b:(us_of_ns stages.(first)) ~ts_e:(us_of_ns stages.(last))
+        acc
+    in
+    let rec pairs acc = function
+      | a :: (b :: _ as rest) ->
+        let acc =
+          span
+            ~name:(Trace.stage_name (Trace.stage_of_index b))
+            ~id:lsn ~tid ~ts_b:(us_of_ns stages.(a)) ~ts_e:(us_of_ns stages.(b))
+            acc
+        in
+        pairs acc rest
+      | _ -> acc
+    in
+    pairs acc observed
+
+let instant ~name ~at ~tid args =
+  base ~name ~ph:"i" ~ts:(us_of_ns at) ~tid
+    (("s", Json.String "t")
+    :: (match args with [] -> [] | _ -> [ ("args", Json.Obj args) ]))
+
+let ring_event acc (at, ev) =
+  match ev with
+  | Trace.Commit _ -> acc (* covered by the commit-path timelines *)
+  | Trace.Read { pg; kind } ->
+    instant
+      ~name:("read " ^ Trace.read_kind_name kind)
+      ~at ~tid:(tid_of_pg pg) []
+    :: acc
+  | Trace.Recovery { epoch; phase } ->
+    instant
+      ~name:("recovery " ^ Trace.recovery_phase_name phase)
+      ~at ~tid:0
+      [ ("epoch", Json.Int epoch) ]
+    :: acc
+  | Trace.Membership { pg; epoch; phase } ->
+    instant
+      ~name:("membership " ^ Trace.membership_phase_name phase)
+      ~at ~tid:(tid_of_pg pg)
+      [ ("epoch", Json.Int epoch) ]
+    :: acc
+  | Trace.Health { pg; edge } ->
+    instant ~name:(Trace.health_edge_name edge) ~at ~tid:(tid_of_pg pg) [] :: acc
+
+let to_json ctx =
+  let timelines = Commit_path.timelines (Ctx.commit_path ctx) in
+  let ring = Trace.events (Ctx.trace ctx) in
+  (* Lanes: volume lane 0 always, plus every pg seen anywhere. *)
+  let pgs = Hashtbl.create 16 in
+  List.iter (fun (_, pg, _) -> if pg >= 0 then Hashtbl.replace pgs pg ()) timelines;
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Trace.Read { pg; _ }
+      | Trace.Membership { pg; _ }
+      | Trace.Health { pg; _ }
+      | Trace.Commit { pg; _ } ->
+        if pg >= 0 then Hashtbl.replace pgs pg ()
+      | Trace.Recovery _ -> ())
+    ring;
+  let lanes =
+    thread_name_meta 0 "volume"
+    :: (Hashtbl.fold (fun pg () acc -> pg :: acc) pgs []
+       |> List.sort compare
+       |> List.map (fun pg ->
+              thread_name_meta (tid_of_pg pg) (Printf.sprintf "pg %d" pg)))
+  in
+  let spans = List.rev (List.fold_left timeline_events [] timelines) in
+  let instants = List.rev (List.fold_left ring_event [] ring) in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (lanes @ spans @ instants));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string ?(pretty = false) ctx = Json.to_string ~pretty (to_json ctx)

@@ -1,0 +1,25 @@
+(** Chrome trace-event-format export.
+
+    Renders a context's commit-path timelines and trace ring as the JSON
+    object format consumed by Perfetto / [chrome://tracing]:
+
+    - each live commit-path timeline becomes async span pairs ([ph] "b" /
+      "e", [id] = LSN): one umbrella span ["commit lsn=N"] from its first
+      to its last observed stage, plus one sub-span per adjacent observed
+      stage pair, named after the reached stage;
+    - ring events (reads, recovery, membership changes, health edges)
+      become instant events ([ph] "i", thread scope);
+    - lanes: [tid] 0 is the volume-level lane, [tid] [pg + 1] the lane of
+      protection group [pg]; each lane gets a ["thread_name"] metadata
+      record ([ph] "M").
+
+    Timestamps are microseconds (simulated nanoseconds / 1000, as a
+    float).  Every record carries [name]/[ph]/[ts]/[pid]/[tid].  Commit
+    events in the ring are skipped — the timelines carry strictly more
+    structure for the same marks.  Output is deterministic for identically
+    seeded runs. *)
+
+val to_json : Ctx.t -> Json.t
+(** [{"traceEvents": [...]; "displayTimeUnit": "ms"}]. *)
+
+val to_string : ?pretty:bool -> Ctx.t -> string

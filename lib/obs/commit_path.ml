@@ -4,7 +4,8 @@ type t = {
   registry : Registry.t;
   trace : Trace.t;
   capacity : int;
-  timelines : (int, int array) Hashtbl.t; (* lsn -> per-stage time, -1 unset *)
+  (* lsn -> (owning pg, per-stage time); -1 = unknown / unset *)
+  timelines : (int, int ref * int array) Hashtbl.t;
   order : int Queue.t; (* allocation order, for eviction *)
   hists : Simcore.Histogram.t option array; (* (from * n + to) -> histogram *)
 }
@@ -52,19 +53,20 @@ let evict_beyond_capacity t =
     | Some lsn -> Hashtbl.remove t.timelines lsn
   done
 
-let mark t ~at ~lsn ?(member = -1) stage =
-  Trace.commit_stage t.trace ~at ~lsn ~member stage;
+let mark t ~at ~lsn ?(member = -1) ?(pg = -1) stage =
+  Trace.commit_stage t.trace ~at ~lsn ~member ~pg stage;
   let idx = Trace.stage_index stage in
   match Hashtbl.find_opt t.timelines lsn with
   | None ->
     if idx = 0 then begin
       let tl = Array.make n (-1) in
       tl.(0) <- at;
-      Hashtbl.replace t.timelines lsn tl;
+      Hashtbl.replace t.timelines lsn (ref pg, tl);
       Queue.push lsn t.order;
       evict_beyond_capacity t
     end
-  | Some tl ->
+  | Some (pg_ref, tl) ->
+    if pg >= 0 && !pg_ref < 0 then pg_ref := pg;
     if tl.(idx) < 0 then begin
       tl.(idx) <- at;
       let rec prev i = if i < 0 then -1 else if tl.(i) >= 0 then i else prev (i - 1) in
@@ -78,6 +80,10 @@ let mark t ~at ~lsn ?(member = -1) stage =
     end
 
 let live_timelines t = Hashtbl.length t.timelines
+
+let timelines t =
+  Hashtbl.fold (fun lsn (pg, tl) acc -> (lsn, !pg, Array.copy tl) :: acc) t.timelines []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let clear t =
   Hashtbl.reset t.timelines;

@@ -24,9 +24,25 @@ val create : ?capacity:int -> registry:Registry.t -> trace:Trace.t -> unit -> t
 (** [capacity] bounds live per-LSN timelines (default 16384). *)
 
 val mark :
-  t -> at:Simcore.Time_ns.t -> lsn:int -> ?member:int -> Trace.commit_stage -> unit
+  t ->
+  at:Simcore.Time_ns.t ->
+  lsn:int ->
+  ?member:int ->
+  ?pg:int ->
+  Trace.commit_stage ->
+  unit
+(** [pg] tags the record's protection group on its timeline; the first
+    non-negative value seen for an LSN is latched (call sites deep in the
+    volume core don't all know it). *)
 
 val live_timelines : t -> int
+
+val timelines : t -> (int * int * Simcore.Time_ns.t array) list
+(** Live per-LSN timelines as [(lsn, pg, stage_times)], sorted by LSN;
+    [stage_times] is indexed by {!Trace.stage_index} with [-1] for stages
+    not (yet) observed, [pg = -1] when never learned.  Basis for the
+    Chrome-trace exporter. *)
+
 val clear : t -> unit
 (** Drop all in-flight timelines (instance crash); histograms persist. *)
 

@@ -110,6 +110,17 @@ let counter_value t ?(labels = []) name =
   | Some { value = Counter_fn f; _ } -> Some (f ())
   | Some _ | None -> None
 
+let gauge_value t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (key name (sort_labels labels)) with
+  | Some { value = Gauge r; _ } -> Some !r
+  | Some { value = Gauge_fn f; _ } -> Some (f ())
+  | Some _ | None -> None
+
+let find_histogram t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (key name (sort_labels labels)) with
+  | Some { value = Hist h; _ } -> Some h
+  | Some _ | None -> None
+
 let matches ~where labels =
   List.for_all
     (fun (k, v) ->

@@ -44,6 +44,12 @@ val find_histograms : t -> string -> (labels * Simcore.Histogram.t) list
 val counter_value : t -> ?labels:labels -> string -> int option
 (** Current value of a counter (owned or callback), if registered. *)
 
+val gauge_value : t -> ?labels:labels -> string -> float option
+(** Current value of a gauge (owned or callback), if registered. *)
+
+val find_histogram : t -> ?labels:labels -> string -> Simcore.Histogram.t option
+(** The histogram under exactly (name, labels), if registered. *)
+
 val snapshot : ?where:labels -> t -> Json.t
 (** Deterministic JSON array of instruments sorted by (name, labels), each
     [{"name"; "labels"; "type"; ...}].  Counters/gauges carry ["value"];

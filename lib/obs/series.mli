@@ -1,0 +1,71 @@
+(** Bounded in-memory time series over registry instruments.
+
+    A [Series.t] owns a set of named channels, each bound to one registry
+    instrument (or an arbitrary closure).  Someone — in practice
+    {!Harness.Cluster}, on a [Sim.every] timer — calls [sample] at a fixed
+    simulated period; each call appends one point per channel:
+
+    - counters contribute the per-window {e rate} (delta since the previous
+      recorded sample, per second of simulated time);
+    - gauges are read as-is;
+    - histograms contribute a per-window percentile, computed against a
+      {!Simcore.Histogram.snapshot} taken at the previous sample, so the
+      cumulative histogram never needs resetting;
+    - closures ([track_fn]) are called and their result stored.
+
+    Memory is bounded: at most [capacity] samples are retained.  On
+    overflow the collection is 2×-decimated — even-indexed samples and the
+    newest sample survive — and the effective sampling stride doubles
+    (subsequent [sample] calls are swallowed so spacing stays uniform), so
+    an arbitrarily long run always fits and always keeps its first and
+    last points.  Timestamps are strictly increasing throughout.
+
+    Missing values (instrument not yet registered, empty histogram window,
+    channel tracked after sampling began) are [nan]; the JSON encoder
+    renders them as [null].  Everything here is driven by the sim clock
+    and reads deterministic state, so reruns under the same seed produce
+    byte-identical [to_json] output. *)
+
+type t
+
+val create : ?capacity:int -> registry:Registry.t -> unit -> t
+(** [capacity] (default 512, min 2) bounds retained samples.  Rates for
+    the first recorded sample are measured from simulated time 0 with all
+    counters at zero — create the series at the start of the run. *)
+
+val track_counter : t -> ?labels:Registry.labels -> ?label:string -> string -> unit
+(** Channel label defaults to ["name{k=v,...}/s"].  Tracking an
+    already-present label is a no-op. *)
+
+val track_gauge : t -> ?labels:Registry.labels -> ?label:string -> string -> unit
+
+val track_histogram :
+  t -> ?labels:Registry.labels -> ?label:string -> pct:float -> string -> unit
+(** Per-window percentile channel, e.g. [~pct:99.].  Label defaults to
+    ["name.p99"]. *)
+
+val track_fn : t -> label:string -> (unit -> float) -> unit
+(** Arbitrary sampled value; the closure runs once per recorded sample. *)
+
+val sample : t -> at:Simcore.Time_ns.t -> unit
+(** Record one sample (or swallow the tick, post-decimation). *)
+
+val n_samples : t -> int
+val n_channels : t -> int
+
+val stride : t -> int
+(** Current decimation stride: 1 until the first overflow, then doubling. *)
+
+val channel_labels : t -> string list
+(** In tracking order. *)
+
+val timestamps : t -> Simcore.Time_ns.t array
+(** Copy of the retained sample times, oldest first. *)
+
+val points : t -> string -> float array option
+(** Retained points of the channel with that label, parallel to
+    [timestamps]; [None] for unknown labels. *)
+
+val to_json : t -> Json.t
+(** [{"n_samples"; "stride"; "capacity"; "t_ns"; "channels": [{"label";
+    "points"}]}] — [nan] points render as [null]. *)

@@ -61,11 +61,24 @@ let membership_phase_name = function
   | Change_committed -> "committed"
   | Change_reverted -> "reverted"
 
+type health_edge =
+  | Write_quorum_lost
+  | Write_quorum_regained
+  | Az_plus_one_lost
+  | Az_plus_one_regained
+
+let health_edge_name = function
+  | Write_quorum_lost -> "write_quorum_lost"
+  | Write_quorum_regained -> "write_quorum_regained"
+  | Az_plus_one_lost -> "az_plus_one_lost"
+  | Az_plus_one_regained -> "az_plus_one_regained"
+
 type event =
-  | Commit of { lsn : int; stage : commit_stage; member : int }
+  | Commit of { lsn : int; stage : commit_stage; member : int; pg : int }
   | Read of { pg : int; kind : read_kind }
   | Recovery of { epoch : int; phase : recovery_phase }
   | Membership of { pg : int; epoch : int; phase : membership_phase }
+  | Health of { pg : int; edge : health_edge }
 
 type t = {
   capacity : int;
@@ -73,23 +86,32 @@ type t = {
   buf : (Simcore.Time_ns.t * event) option array;
   mutable next : int;
   mutable count : int;
+  mutable dropped : int;
 }
 
 let create ?(capacity = 8192) () =
   if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity";
-  { capacity; enabled = false; buf = Array.make capacity None; next = 0; count = 0 }
+  {
+    capacity;
+    enabled = false;
+    buf = Array.make capacity None;
+    next = 0;
+    count = 0;
+    dropped = 0;
+  }
 
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let is_enabled t = t.enabled
 
 let push t at ev =
+  if t.count = t.capacity then t.dropped <- t.dropped + 1;
   t.buf.(t.next) <- Some (at, ev);
   t.next <- (t.next + 1) mod t.capacity;
   if t.count < t.capacity then t.count <- t.count + 1
 
-let commit_stage t ~at ~lsn ~member stage =
-  if t.enabled then push t at (Commit { lsn; stage; member })
+let commit_stage t ~at ~lsn ~member ~pg stage =
+  if t.enabled then push t at (Commit { lsn; stage; member; pg })
 
 let read t ~at ~pg kind = if t.enabled then push t at (Read { pg; kind })
 
@@ -99,7 +121,11 @@ let recovery t ~at ~epoch phase =
 let membership t ~at ~pg ~epoch phase =
   if t.enabled then push t at (Membership { pg; epoch; phase })
 
+let health t ~at ~pg edge = if t.enabled then push t at (Health { pg; edge })
+
 let length t = t.count
+let capacity t = t.capacity
+let dropped t = t.dropped
 
 let nth_oldest t i =
   let start = (t.next - t.count + t.capacity) mod t.capacity in
@@ -116,18 +142,20 @@ let tail t n =
 let clear t =
   Array.fill t.buf 0 t.capacity None;
   t.next <- 0;
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
 
 let event_to_json (at, ev) =
   let fields =
     match ev with
-    | Commit { lsn; stage; member } ->
+    | Commit { lsn; stage; member; pg } ->
       [
         ("kind", Json.String "commit_stage");
         ("lsn", Json.Int lsn);
         ("stage", Json.String (stage_name stage));
       ]
-      @ if member >= 0 then [ ("member", Json.Int member) ] else []
+      @ (if member >= 0 then [ ("member", Json.Int member) ] else [])
+      @ if pg >= 0 then [ ("pg", Json.Int pg) ] else []
     | Read { pg; kind } ->
       [ ("kind", Json.String "read"); ("read", Json.String (read_kind_name kind)) ]
       @ if pg >= 0 then [ ("pg", Json.Int pg) ] else []
@@ -144,6 +172,9 @@ let event_to_json (at, ev) =
         ("epoch", Json.Int epoch);
         ("phase", Json.String (membership_phase_name phase));
       ]
+    | Health { pg; edge } ->
+      [ ("kind", Json.String "health"); ("edge", Json.String (health_edge_name edge)) ]
+      @ if pg >= 0 then [ ("pg", Json.Int pg) ] else []
   in
   Json.Obj (("at_ns", Json.Int at) :: fields)
 
@@ -151,7 +182,7 @@ let pp_event fmt (at, ev) =
   let open Format in
   fprintf fmt "[%a] " Simcore.Time_ns.pp at;
   match ev with
-  | Commit { lsn; stage; member } ->
+  | Commit { lsn; stage; member; pg = _ } ->
     if member >= 0 then
       fprintf fmt "commit lsn=%d %s member=%d" lsn (stage_name stage) member
     else fprintf fmt "commit lsn=%d %s" lsn (stage_name stage)
@@ -162,3 +193,6 @@ let pp_event fmt (at, ev) =
     fprintf fmt "recovery epoch=%d %s" epoch (recovery_phase_name phase)
   | Membership { pg; epoch; phase } ->
     fprintf fmt "membership pg=%d epoch=%d %s" pg epoch (membership_phase_name phase)
+  | Health { pg; edge } ->
+    if pg >= 0 then fprintf fmt "health pg=%d %s" pg (health_edge_name edge)
+    else fprintf fmt "health %s" (health_edge_name edge)

@@ -32,19 +32,39 @@ type read_kind =
   | Read_tracked  (** Single tracked storage read (§3.1). *)
   | Read_hedged  (** A hedge request actually fired. *)
 
+val read_kind_name : read_kind -> string
+
 type recovery_phase = Recovery_started | Recovery_finished
+
+val recovery_phase_name : recovery_phase -> string
 
 type membership_phase =
   | Change_begun  (** Figure 5: first epoch increment, dual quorums. *)
   | Change_committed  (** Second increment: suspect dropped. *)
   | Change_reverted  (** Second increment: replacement dropped. *)
 
+val membership_phase_name : membership_phase -> string
+
+(** Cluster-health transitions derived by {!Health} each sampler tick;
+    recording them in the shared ring puts quorum-loss edges on the same
+    timeline as the commits and membership changes that explain them. *)
+type health_edge =
+  | Write_quorum_lost
+  | Write_quorum_regained
+  | Az_plus_one_lost  (** Can no longer lose an AZ + one more segment. *)
+  | Az_plus_one_regained
+
+val health_edge_name : health_edge -> string
+
 type event =
-  | Commit of { lsn : int; stage : commit_stage; member : int }
-      (** [member] is the acking segment for [Node_acked], [-1] otherwise. *)
+  | Commit of { lsn : int; stage : commit_stage; member : int; pg : int }
+      (** [member] is the acking segment for [Node_acked], [-1] otherwise;
+          [pg] is the record's protection group where the call site knows
+          it, [-1] otherwise (volume-level stages). *)
   | Read of { pg : int; kind : read_kind }  (** [pg = -1] when not resolved. *)
   | Recovery of { epoch : int; phase : recovery_phase }
   | Membership of { pg : int; epoch : int; phase : membership_phase }
+  | Health of { pg : int; edge : health_edge }  (** [pg = -1]: volume-level. *)
 
 type t
 
@@ -57,12 +77,24 @@ val is_enabled : t -> bool
 
 (* Recorders: no-ops (and allocation-free) while disabled. *)
 
-val commit_stage : t -> at:Simcore.Time_ns.t -> lsn:int -> member:int -> commit_stage -> unit
+val commit_stage :
+  t -> at:Simcore.Time_ns.t -> lsn:int -> member:int -> pg:int -> commit_stage -> unit
+
 val read : t -> at:Simcore.Time_ns.t -> pg:int -> read_kind -> unit
 val recovery : t -> at:Simcore.Time_ns.t -> epoch:int -> recovery_phase -> unit
 val membership : t -> at:Simcore.Time_ns.t -> pg:int -> epoch:int -> membership_phase -> unit
+val health : t -> at:Simcore.Time_ns.t -> pg:int -> health_edge -> unit
 
 val length : t -> int
+
+val capacity : t -> int
+(** Ring size: at most this many events survive. *)
+
+val dropped : t -> int
+(** Events evicted by the ring while the trace was enabled — when non-zero
+    the oldest part of the timeline is missing, and any export should say
+    so rather than present a silently truncated run. *)
+
 val events : t -> (Simcore.Time_ns.t * event) list
 (** Oldest first. *)
 

@@ -104,6 +104,36 @@ let percentile t p =
 
 let median t = percentile t 50.
 
+type snapshot = { of_ : t; counts : int array; sn : int }
+
+let snapshot t = { of_ = t; counts = Array.copy t.buckets; sn = t.n }
+
+let check_owner t s =
+  if s.of_ != t then
+    invalid_arg "Histogram.percentile_since: snapshot from another histogram"
+
+let count_since t s =
+  check_owner t s;
+  t.n - s.sn
+
+let percentile_since t s p =
+  check_owner t s;
+  let n = t.n - s.sn in
+  if n <= 0 then 0
+  else begin
+    let p = Float.max 0. (Float.min 100. p) in
+    let target = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let target = if target < 1 then 1 else target in
+    let rec scan i acc =
+      if i >= n_buckets then t.vmax
+      else begin
+        let acc = acc + (t.buckets.(i) - s.counts.(i)) in
+        if acc >= target then min (value_of i) t.vmax else scan (i + 1) acc
+      end
+    in
+    scan 0 0
+  end
+
 let pp_summary fmt t =
   Format.fprintf fmt "n=%d mean=%a p50=%a p99=%a p999=%a max=%a" t.n Time_ns.pp
     (int_of_float (mean t))

@@ -36,6 +36,25 @@ val percentile : t -> float -> int
 
 val median : t -> int
 
+(** Windowed views: a [snapshot] freezes the bucket counts at one instant;
+    [percentile_since]/[count_since] answer queries over only the samples
+    recorded after the snapshot was taken.  This is what lets a time-series
+    sampler derive per-window p50/p99 from a cumulative histogram without
+    resetting it (the histogram stays a whole-run aggregate for everyone
+    else). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val count_since : t -> snapshot -> int
+(** Samples recorded after [snapshot]. *)
+
+val percentile_since : t -> snapshot -> float -> int
+(** Percentile over the samples recorded after [snapshot]; 0 when the
+    window is empty.
+    @raise Invalid_argument if the snapshot came from a different
+    histogram instance. *)
+
 val pp_summary : Format.formatter -> t -> unit
 (** One-line "n=... mean=... p50=... p99=... max=..." rendering with
     adaptive time units. *)

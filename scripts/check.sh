@@ -19,4 +19,18 @@ fi
 dune build @all
 dune runtest
 
-echo "check.sh: all green"
+# Determinism gate: the whole sim (including the observability sampler,
+# time-series decimation, and trace) must be byte-identical across reruns
+# of the same seed.  Any nondeterminism (hash-order iteration, wall-clock
+# leakage, unseeded randomness) shows up here as a byte diff.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec --no-build bin/aurora_cli.exe -- smoke --json --seed 7 > "$tmpdir/a.json"
+dune exec --no-build bin/aurora_cli.exe -- smoke --json --seed 7 > "$tmpdir/b.json"
+if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
+  echo "error: smoke --json is not deterministic across reruns of seed 7" >&2
+  diff "$tmpdir/a.json" "$tmpdir/b.json" | head -10 >&2
+  exit 1
+fi
+
+echo "check.sh: all green (determinism gate: byte-identical reruns)"

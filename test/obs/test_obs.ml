@@ -96,7 +96,8 @@ let test_trace_disabled_zero_alloc () =
   Obs.Trace.read tr ~at:0 ~pg:0 Obs.Trace.Read_tracked;
   let before = Gc.minor_words () in
   for i = 1 to 1000 do
-    Obs.Trace.commit_stage tr ~at:i ~lsn:i ~member:(-1) Obs.Trace.Lsn_allocated;
+    Obs.Trace.commit_stage tr ~at:i ~lsn:i ~member:(-1) ~pg:(-1)
+      Obs.Trace.Lsn_allocated;
     Obs.Trace.read tr ~at:i ~pg:0 Obs.Trace.Read_cache_hit
   done;
   let allocated = Gc.minor_words () -. before in
@@ -217,6 +218,483 @@ let test_cluster_snapshot_contents () =
   Alcotest.(check bool) "marquee count nonzero" true
     (s.[count_idx] <> '0')
 
+(* ---- json properties (qcheck) ---- *)
+
+(* Minimal JSON reader, just enough to validate the encoder's output:
+   numbers containing '.', 'e' or 'E' read back as [Float], others as
+   [Int].  Raises [Bad] on anything malformed, so "it parses" is itself
+   the property under test. *)
+module Json_parse = struct
+  exception Bad of string
+
+  let parse (s : string) : Obs.Json.t =
+    let pos = ref 0 in
+    let len = String.length s in
+    let peek () = if !pos >= len then raise (Bad "eof") else s.[!pos] in
+    let advance () = incr pos in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c" c));
+      advance ()
+    in
+    let rec skip_ws () =
+      if
+        !pos < len
+        && match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false
+      then begin
+        advance ();
+        skip_ws ()
+      end
+    in
+    let hex c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> raise (Bad "hex digit")
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' ->
+          advance ();
+          Buffer.contents b
+        | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'; advance ()
+          | '\\' -> Buffer.add_char b '\\'; advance ()
+          | '/' -> Buffer.add_char b '/'; advance ()
+          | 'n' -> Buffer.add_char b '\n'; advance ()
+          | 'r' -> Buffer.add_char b '\r'; advance ()
+          | 't' -> Buffer.add_char b '\t'; advance ()
+          | 'b' -> Buffer.add_char b '\b'; advance ()
+          | 'f' -> Buffer.add_char b '\012'; advance ()
+          | 'u' ->
+            advance ();
+            let code = ref 0 in
+            for _ = 1 to 4 do
+              code := (!code * 16) + hex (peek ());
+              advance ()
+            done;
+            if !code > 0xff then raise (Bad "non-latin1 \\u escape")
+            else Buffer.add_char b (Char.chr !code)
+          | c -> raise (Bad (Printf.sprintf "escape \\%c" c)));
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < len && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+        Obs.Json.Float (float_of_string tok)
+      else Obs.Json.Int (int_of_string tok)
+    in
+    let literal word v =
+      let n = String.length word in
+      if !pos + n <= len && String.sub s !pos n = word then begin
+        pos := !pos + n;
+        v
+      end
+      else raise (Bad word)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Obs.Json.String (parse_string ())
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obs.Json.Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_loop () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); fields_loop ()
+            | '}' -> advance ()
+            | _ -> raise (Bad "object separator")
+          in
+          fields_loop ();
+          Obs.Json.Obj (List.rev !fields)
+        end
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Obs.Json.List []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_loop () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); items_loop ()
+            | ']' -> advance ()
+            | _ -> raise (Bad "array separator")
+          in
+          items_loop ();
+          Obs.Json.List (List.rev !items)
+        end
+      | 't' -> literal "true" (Obs.Json.Bool true)
+      | 'f' -> literal "false" (Obs.Json.Bool false)
+      | 'n' -> literal "null" Obs.Json.Null
+      | _ -> parse_number ()
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then raise (Bad "trailing garbage");
+    v
+end
+
+let prop_json_escape_valid =
+  QCheck.Test.make ~name:"escape: arbitrary bytes round-trip through parse"
+    ~count:500 QCheck.string (fun s ->
+      Json_parse.parse ("\"" ^ Obs.Json.escape s ^ "\"") = Obs.Json.String s)
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make
+    ~name:"float repr: emitted values reparse to the exact same value"
+    ~count:1000 QCheck.float
+    (fun f0 ->
+      QCheck.assume (Float.is_finite f0);
+      let repr f = Obs.Json.to_string (Obs.Json.Float f) in
+      (* One encode+parse lands on the decimal grid the encoder emits
+         (9 significant digits, or exact fixed-point for integral values);
+         from there print/parse must be lossless both ways. *)
+      let f = float_of_string (repr f0) in
+      let s = repr f in
+      Float.equal (float_of_string s) f && String.equal (repr (float_of_string s)) s)
+
+let test_json_nonfinite_null () =
+  check_str "nan and infinities all encode as null" "[null,null,null]"
+    (Obs.Json.to_string
+       (Obs.Json.List
+          [
+            Obs.Json.Float Float.nan;
+            Obs.Json.Float Float.infinity;
+            Obs.Json.Float Float.neg_infinity;
+          ]))
+
+let json_gen : Obs.Json.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let finite f = if Float.is_finite f then f else 0. in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) int;
+        map (fun f -> Obs.Json.Float (finite f)) float;
+        map (fun s -> Obs.Json.String s) (string_size (int_bound 12));
+      ]
+  in
+  sized
+    (fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map
+                   (fun l -> Obs.Json.List l)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Obs.Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair (string_size (int_bound 6)) (self (n / 2)))) );
+             ]))
+
+let prop_json_pretty_equiv =
+  QCheck.Test.make ~name:"pretty and compact renderings parse identically"
+    ~count:300
+    (QCheck.make ~print:(fun j -> Obs.Json.to_string ~pretty:true j) json_gen)
+    (fun j ->
+      Json_parse.parse (Obs.Json.to_string j)
+      = Json_parse.parse (Obs.Json.to_string ~pretty:true j))
+
+(* ---- series ---- *)
+
+let test_series_counter_rate () =
+  let reg = Obs.Registry.create () in
+  let s = Obs.Series.create ~registry:reg () in
+  let c = Obs.Registry.counter reg "ticks" in
+  Obs.Series.track_counter s "ticks";
+  check_int "one channel" 1 (Obs.Series.n_channels s);
+  Alcotest.(check (list string)) "default label" [ "ticks/s" ]
+    (Obs.Series.channel_labels s);
+  c := 100;
+  Obs.Series.sample s ~at:(Time_ns.ms 100);
+  c := !c + 50;
+  Obs.Series.sample s ~at:(Time_ns.ms 200);
+  match Obs.Series.points s "ticks/s" with
+  | None -> Alcotest.fail "channel missing"
+  | Some pts ->
+    check_int "two samples" 2 (Array.length pts);
+    Alcotest.(check (float 1e-6)) "first window rate (from t=0)" 1000. pts.(0);
+    Alcotest.(check (float 1e-6)) "second window rate" 500. pts.(1)
+
+let test_series_decimation () =
+  let reg = Obs.Registry.create () in
+  let s = Obs.Series.create ~capacity:4 ~registry:reg () in
+  let v = ref 0. in
+  Obs.Series.track_fn s ~label:"v" (fun () -> !v);
+  (* 10 uniform ticks into capacity 4: two decimations, stride 1->2->4.
+     Recorded ticks are deterministic: 1,2,3,4 | compact to 1,3,4, +5 |
+     compact to 1,4,5, +7 | ticks 8..10 swallowed. *)
+  for i = 1 to 10 do
+    v := float_of_int i;
+    Obs.Series.sample s ~at:(Time_ns.ms (10 * i))
+  done;
+  check_int "bounded" 4 (Obs.Series.n_samples s);
+  check_int "stride doubled twice" 4 (Obs.Series.stride s);
+  let ts = Obs.Series.timestamps s in
+  Alcotest.(check (array int)) "first and newest recorded samples survive"
+    [| Time_ns.ms 10; Time_ns.ms 40; Time_ns.ms 50; Time_ns.ms 70 |]
+    ts;
+  Array.iteri
+    (fun i at ->
+      if i > 0 then
+        Alcotest.(check bool) "timestamps strictly increase" true
+          (at > ts.(i - 1)))
+    ts;
+  match Obs.Series.points s "v" with
+  | None -> Alcotest.fail "channel missing"
+  | Some pts ->
+    Alcotest.(check (array (float 1e-9))) "points stay paired with times"
+      [| 1.; 4.; 5.; 7. |] pts
+
+(* ---- health ---- *)
+
+let test_health_edges_synthetic () =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.enable tr;
+  let h = Obs.Health.create ~trace:tr () in
+  let mk ~at ~wm ~az1 =
+    {
+      Obs.Health.at;
+      pgs =
+        [
+          {
+            Obs.Health.pg = 0;
+            total = 6;
+            reachable = (if wm >= 0 then 4 + wm else 3);
+            ack_current = 4;
+            write_margin = wm;
+            read_margin = wm + 1;
+            az_plus_one = az1;
+            epoch = 1;
+          };
+        ];
+      volume =
+        { Obs.Health.vdl_vcl_gap = 0; commit_queue_depth = 0; max_replica_lag = 0 };
+    }
+  in
+  Obs.Health.observe h ~at:0 (mk ~at:0 ~wm:2 ~az1:true);
+  check_int "healthy start: no transitions" 0 (Obs.Health.transitions h);
+  Obs.Health.observe h ~at:(Time_ns.ms 100)
+    (mk ~at:(Time_ns.ms 100) ~wm:(-1) ~az1:false);
+  check_int "quorum + AZ+1 loss fire one edge each" 2 (Obs.Health.transitions h);
+  Obs.Health.observe h ~at:(Time_ns.ms 150)
+    (mk ~at:(Time_ns.ms 150) ~wm:(-1) ~az1:false);
+  check_int "steady unhealthy state: no re-fire" 2 (Obs.Health.transitions h);
+  Obs.Health.observe h ~at:(Time_ns.ms 200)
+    (mk ~at:(Time_ns.ms 200) ~wm:0 ~az1:true);
+  check_int "recovery fires one edge each" 4 (Obs.Health.transitions h);
+  (* [0,100) available from the t=0 sample, [100,200) not: exactly half. *)
+  Alcotest.(check (float 1e-9)) "availability integrates previous state" 0.5
+    (Obs.Health.write_available_fraction h);
+  check_int "observed span" (Time_ns.ms 200) (Obs.Health.observed_ns h);
+  let count edge =
+    List.length
+      (List.filter
+         (fun (_, e) ->
+           match e with
+           | Obs.Trace.Health { edge = e'; _ } -> e' = edge
+           | _ -> false)
+         (Obs.Trace.events tr))
+  in
+  List.iter
+    (fun e -> check_int (Obs.Trace.health_edge_name e) 1 (count e))
+    [
+      Obs.Trace.Write_quorum_lost;
+      Obs.Trace.Write_quorum_regained;
+      Obs.Trace.Az_plus_one_lost;
+      Obs.Trace.Az_plus_one_regained;
+    ]
+
+let test_cluster_health_edges () =
+  let cluster =
+    Harness.Cluster.create
+      { Harness.Cluster.default_config with seed = 5; n_pgs = 1 }
+  in
+  let obs = Harness.Cluster.obs cluster in
+  Obs.Ctx.enable_tracing obs;
+  let sim = Harness.Cluster.sim cluster in
+  let tr = Obs.Ctx.trace obs in
+  let health_counts () =
+    List.fold_left
+      (fun (wl, wr, al, ar) (_, e) ->
+        match e with
+        | Obs.Trace.Health { edge = Obs.Trace.Write_quorum_lost; _ } ->
+          (wl + 1, wr, al, ar)
+        | Obs.Trace.Health { edge = Obs.Trace.Write_quorum_regained; _ } ->
+          (wl, wr + 1, al, ar)
+        | Obs.Trace.Health { edge = Obs.Trace.Az_plus_one_lost; _ } ->
+          (wl, wr, al + 1, ar)
+        | Obs.Trace.Health { edge = Obs.Trace.Az_plus_one_regained; _ } ->
+          (wl, wr, al, ar + 1)
+        | _ -> (wl, wr, al, ar))
+      (0, 0, 0, 0) (Obs.Trace.events tr)
+  in
+  let check_counts label (wl, wr, al, ar) =
+    let gwl, gwr, gal, gar = health_counts () in
+    Alcotest.(check (list int)) label [ wl; wr; al; ar ] [ gwl; gwr; gal; gar ]
+  in
+  Sim.run_until sim (Time_ns.ms 200);
+  check_counts "baseline healthy" (0, 0, 0, 0);
+  (* One whole AZ down: 4/6 write quorum exactly satisfied (margin 0) but
+     AZ+1 is gone — only the AZ+1 edge fires. *)
+  Harness.Cluster.fail_az cluster (Quorum.Az.of_int 2);
+  Sim.run_until sim (Time_ns.ms 400);
+  check_counts "AZ outage: AZ+1 lost, writes still up" (0, 0, 1, 0);
+  let pg = Storage.Pg_id.of_int 0 in
+  let victim =
+    List.find
+      (fun m -> Quorum.Az.to_int m.Quorum.Membership.az <> 2)
+      (Harness.Cluster.members_of_pg cluster pg)
+  in
+  Harness.Cluster.crash_storage_node cluster pg victim.Quorum.Membership.id;
+  Sim.run_until sim (Time_ns.ms 600);
+  check_counts "AZ + one more: write quorum lost exactly once" (1, 0, 1, 0);
+  Harness.Cluster.restart_storage_node cluster pg victim.Quorum.Membership.id;
+  Sim.run_until sim (Time_ns.ms 800);
+  check_counts "node restart: write quorum regained once" (1, 1, 1, 0);
+  Harness.Cluster.restore_az cluster (Quorum.Az.of_int 2);
+  Sim.run_until sim (Time_ns.ms 1000);
+  check_counts "AZ restored: AZ+1 regained once" (1, 1, 1, 1);
+  (* The availability accumulator saw the outage window. *)
+  let frac =
+    Obs.Health.write_available_fraction (Obs.Ctx.health obs)
+  in
+  Alcotest.(check bool) "availability dipped below 1" true (frac < 1.);
+  Alcotest.(check bool) "but mostly up" true (frac > 0.5)
+
+(* ---- trace dropped counter ---- *)
+
+let test_trace_dropped () =
+  let tr = Obs.Trace.create ~capacity:3 () in
+  (* Disabled pushes neither store nor drop. *)
+  for i = 1 to 5 do
+    Obs.Trace.read tr ~at:i ~pg:0 Obs.Trace.Read_tracked
+  done;
+  check_int "disabled: nothing dropped" 0 (Obs.Trace.dropped tr);
+  Obs.Trace.enable tr;
+  for i = 1 to 5 do
+    Obs.Trace.read tr ~at:i ~pg:0 Obs.Trace.Read_tracked
+  done;
+  check_int "capacity accessor" 3 (Obs.Trace.capacity tr);
+  check_int "overflow counted" 2 (Obs.Trace.dropped tr);
+  Obs.Trace.clear tr;
+  check_int "clear resets dropped" 0 (Obs.Trace.dropped tr)
+
+(* ---- commit-path timelines / pg latch ---- *)
+
+let test_commit_path_timelines () =
+  let reg = Obs.Registry.create () in
+  let tr = Obs.Trace.create () in
+  let cp = Obs.Commit_path.create ~registry:reg ~trace:tr () in
+  Obs.Commit_path.mark cp ~at:100 ~lsn:7 ~pg:1 Obs.Trace.Lsn_allocated;
+  Obs.Commit_path.mark cp ~at:500 ~lsn:7 Obs.Trace.Boxcar_flushed;
+  Obs.Commit_path.mark cp ~at:900 ~lsn:9 Obs.Trace.Lsn_allocated;
+  Obs.Commit_path.mark cp ~at:1200 ~lsn:9 ~member:3 ~pg:0 Obs.Trace.Node_acked;
+  match Obs.Commit_path.timelines cp with
+  | [ (7, pg7, tl7); (9, pg9, tl9) ] ->
+    check_int "pg latched at allocation" 1 pg7;
+    check_int "pg latched by a later stage" 0 pg9;
+    check_int "stage time recorded" 500
+      tl7.(Obs.Trace.stage_index Obs.Trace.Boxcar_flushed);
+    check_int "unobserved stage is -1" (-1)
+      tl7.(Obs.Trace.stage_index Obs.Trace.Commit_acked);
+    check_int "late-latched timeline keeps times" 1200
+      tl9.(Obs.Trace.stage_index Obs.Trace.Node_acked)
+  | tls -> Alcotest.failf "expected 2 timelines, got %d" (List.length tls)
+
+(* ---- chrome export ---- *)
+
+let test_chrome_export_format () =
+  let ctx = Obs.Ctx.create () in
+  Obs.Ctx.enable_tracing ctx;
+  let cp = Obs.Ctx.commit_path ctx in
+  Obs.Commit_path.mark cp ~at:1_000 ~lsn:1 ~pg:0 Obs.Trace.Lsn_allocated;
+  Obs.Commit_path.mark cp ~at:2_000 ~lsn:1 Obs.Trace.Boxcar_flushed;
+  Obs.Commit_path.mark cp ~at:3_000 ~lsn:1 ~member:2 Obs.Trace.Node_acked;
+  Obs.Commit_path.mark cp ~at:4_000 ~lsn:1 Obs.Trace.Commit_acked;
+  Obs.Trace.read (Obs.Ctx.trace ctx) ~at:2_500 ~pg:0 Obs.Trace.Read_tracked;
+  let evs =
+    match Obs.Chrome_export.to_json ctx with
+    | Obs.Json.Obj fields -> (
+      (match List.assoc_opt "displayTimeUnit" fields with
+      | Some (Obs.Json.String "ms") -> ()
+      | _ -> Alcotest.fail "displayTimeUnit missing");
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Obs.Json.List evs) -> evs
+      | _ -> Alcotest.fail "traceEvents missing")
+    | _ -> Alcotest.fail "not an object"
+  in
+  let field k ev =
+    match ev with Obs.Json.Obj fs -> List.assoc_opt k fs | _ -> None
+  in
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun k ->
+          if field k ev = None then
+            Alcotest.failf "record missing %s: %s" k (Obs.Json.to_string ev))
+        [ "name"; "ph"; "ts"; "pid"; "tid" ])
+    evs;
+  let with_ph v =
+    List.filter (fun ev -> field "ph" ev = Some (Obs.Json.String v)) evs
+  in
+  let begins = with_ph "b" and ends = with_ph "e" in
+  check_int "async spans balance" (List.length begins) (List.length ends);
+  Alcotest.(check bool) "at least one span pair for the traced commit" true
+    (List.length begins >= 1);
+  Alcotest.(check bool) "umbrella span present" true
+    (List.exists
+       (fun ev -> field "name" ev = Some (Obs.Json.String "commit lsn=1"))
+       begins);
+  check_int "ring read became one instant" 1 (List.length (with_ph "i"));
+  Alcotest.(check bool) "lane metadata present" true
+    (List.length (with_ph "M") >= 1)
+
 let () =
   Alcotest.run "obs"
     [
@@ -224,6 +702,25 @@ let () =
         [
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "floats" `Quick test_json_floats;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_null;
+          QCheck_alcotest.to_alcotest prop_json_escape_valid;
+          QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_pretty_equiv;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "counter rate" `Quick test_series_counter_rate;
+          Alcotest.test_case "decimation" `Quick test_series_decimation;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "synthetic edges" `Quick test_health_edges_synthetic;
+          Alcotest.test_case "scripted AZ failure" `Quick
+            test_cluster_health_edges;
+        ] );
+      ( "chrome export",
+        [
+          Alcotest.test_case "record format" `Quick test_chrome_export_format;
         ] );
       ( "registry",
         [
@@ -234,6 +731,7 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "ring eviction" `Quick test_trace_ring;
+          Alcotest.test_case "dropped counter" `Quick test_trace_dropped;
           Alcotest.test_case "disabled zero-alloc" `Quick
             test_trace_disabled_zero_alloc;
         ] );
@@ -242,6 +740,8 @@ let () =
           Alcotest.test_case "stage pairs" `Quick test_commit_path_pairs;
           Alcotest.test_case "timeline eviction" `Quick
             test_commit_path_eviction;
+          Alcotest.test_case "timelines / pg latch" `Quick
+            test_commit_path_timelines;
         ] );
       ( "cluster",
         [

@@ -244,6 +244,24 @@ let test_histogram_mean_stddev () =
   check_bool "mean" true (abs_float (Histogram.mean h -. 20.) < 0.001);
   check_bool "stddev" true (abs_float (Histogram.stddev h -. 8.165) < 0.01)
 
+let test_histogram_windowed_snapshot () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 3 ];
+  let s = Histogram.snapshot h in
+  check_int "empty window count" 0 (Histogram.count_since h s);
+  check_int "empty window p99" 0 (Histogram.percentile_since h s 99.);
+  List.iter (Histogram.record h) [ 10; 11; 12; 13 ];
+  check_int "window count" 4 (Histogram.count_since h s);
+  (* The window sees only the post-snapshot values, not the 1-3 prefix. *)
+  check_int "window p50" 11 (Histogram.percentile_since h s 50.);
+  check_int "window p100" 13 (Histogram.percentile_since h s 100.);
+  check_int "whole-run view spans both windows" 10 (Histogram.percentile h 50.);
+  let other = Histogram.create () in
+  Alcotest.check_raises "foreign snapshot rejected"
+    (Invalid_argument
+       "Histogram.percentile_since: snapshot from another histogram")
+    (fun () -> ignore (Histogram.percentile_since other s 50. : int))
+
 (* ---- Stats ---- *)
 
 let test_stats_percentile_exact () =
@@ -342,6 +360,8 @@ let () =
           Alcotest.test_case "exact small" `Quick test_histogram_exact_small;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "mean/stddev" `Quick test_histogram_mean_stddev;
+          Alcotest.test_case "windowed snapshot" `Quick
+            test_histogram_windowed_snapshot;
           qc prop_histogram_percentile_close;
         ] );
       ( "stats",
