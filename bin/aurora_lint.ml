@@ -1,0 +1,65 @@
+(* aurora_lint — static-analysis gate for determinism, protocol-type
+   discipline, and interface hygiene.  See DESIGN.md §6 for the rule
+   catalogue and the baseline workflow.
+
+   Exit status: 0 when every finding is baselined (or none), 1 otherwise,
+   2 on usage errors. *)
+
+let usage =
+  "usage: aurora_lint [options] [dir ...]\n\
+   Lints every .ml/.mli under the given directories (default: lib bin bench \
+   test).\n"
+
+let () =
+  let json = ref false in
+  let update = ref false in
+  let list_rules = ref false in
+  let baseline_path = ref "lint/baseline.txt" in
+  let roots = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as a JSON array on stdout");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE suppression baseline (default lint/baseline.txt)" );
+      ( "--update-baseline",
+        Arg.Set update,
+        " rewrite the baseline to cover all current findings, then exit 0" );
+      ("--rules", Arg.Set list_rules, " list the rule catalogue and exit");
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun dir -> roots := dir :: !roots) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint.Rules.rule) ->
+        Printf.printf "%-18s %s\n" r.id r.description)
+      Lint.Rules.all;
+    exit 0
+  end;
+  let roots =
+    match List.rev !roots with
+    | [] -> [ "lib"; "bin"; "bench"; "test" ]
+    | roots -> roots
+  in
+  let findings = Lint.Engine.lint_tree ~roots in
+  if !update then begin
+    Lint.Baseline.save !baseline_path findings;
+    Printf.eprintf "aurora_lint: baselined %d finding(s) into %s\n"
+      (List.length findings) !baseline_path;
+    exit 0
+  end;
+  let baseline = Lint.Baseline.load !baseline_path in
+  let fresh, suppressed =
+    List.partition (fun f -> not (Lint.Baseline.mem baseline f)) findings
+  in
+  if !json then print_string (Lint.Finding.list_to_json fresh)
+  else List.iter (fun f -> print_endline (Lint.Finding.to_string f)) fresh;
+  Printf.eprintf "aurora_lint: %d finding(s), %d suppressed by baseline\n"
+    (List.length fresh) (List.length suppressed);
+  match fresh with
+  | [] -> exit 0
+  | _ ->
+    Printf.eprintf
+      "aurora_lint: fix the findings above, extend a rule allowlist with \
+       justification, or freeze them with --update-baseline\n";
+    exit 1

@@ -45,9 +45,11 @@ let run_group ~rng ~params ~(members : Membership.member list) ~rule acc =
   let member_up = Array.make n true in
   let az_up = Hashtbl.create 4 in
   List.iter (fun az -> Hashtbl.replace az_up (Az.to_int az) true) azs;
-  let heap = Heap.create ~cmp:(fun (t1, _, _) (t2, _, _) ->
+  (* Ties on the timestamp break on the push sequence number, so
+     same-instant events pop in a fixed, seed-independent order. *)
+  let heap = Heap.create ~cmp:(fun (t1, s1, _) (t2, s2, _) ->
       let c = Time_ns.compare t1 t2 in
-      if c <> 0 then c else Int.compare (Hashtbl.hash t1) (Hashtbl.hash t2))
+      if c <> 0 then c else Int.compare s1 s2)
   in
   let seq = ref 0 in
   let push at ev =

@@ -129,7 +129,7 @@ let mean_batch_size t =
   if !batches = 0 then 0. else float_of_int !records /. float_of_int !batches
 
 let block_of_key t key =
-  Block_id.of_int (Hashtbl.hash key mod t.config.n_blocks)
+  Block_id.of_int (Bits.fnv1a_string key mod t.config.n_blocks)
 
 let send t ~dst msg =
   Simnet.Net.send t.net ~src:t.addr ~dst ~bytes:(Protocol.bytes msg) msg

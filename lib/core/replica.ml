@@ -176,7 +176,7 @@ let get t ~key callback =
   if not t.running then callback (Error "replica is not running")
   else begin
     t.metrics.gets <- t.metrics.gets + 1;
-    let block = Block_id.of_int (Hashtbl.hash key mod t.config.n_blocks) in
+    let block = Block_id.of_int (Bits.fnv1a_string key mod t.config.n_blocks) in
     let as_of = t.vdl_seen in
     let view = Read_view.make ~as_of () in
     let commit_scn txn = Txn_table.commit_scn t.txns txn in

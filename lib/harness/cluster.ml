@@ -177,11 +177,12 @@ let health_sample t ~at =
              epoch = Epoch.to_int (Membership.epoch g.Volume.membership);
            })
   in
-  let vdl = Wal.Lsn.to_int (Database.vdl t.db) in
+  let vdl_lsn = Database.vdl t.db in
+  let vdl = Wal.Lsn.to_int vdl_lsn in
   let vcl = Wal.Lsn.to_int (Database.vcl t.db) in
   let max_lag =
     List.fold_left
-      (fun acc r -> max acc (vdl - Wal.Lsn.to_int (Replica.vdl_seen r)))
+      (fun acc r -> max acc (Wal.Lsn.diff vdl_lsn (Replica.vdl_seen r)))
       0 t.replica_list
   in
   {

@@ -1,0 +1,65 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let equal a b = compare a b = 0
+let key t = Printf.sprintf "%s|%s|%d|%d" t.rule t.file t.line t.col
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message
+
+(* Minimal JSON string escaping: the only metacharacters findings can carry
+   are quotes, backslashes, and control characters from source excerpts. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (escape t.rule) (escape t.file) t.line t.col (escape t.message)
+
+let list_to_json ts =
+  match ts with
+  | [] -> "[]\n"
+  | ts ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf (to_json t))
+      ts;
+    Buffer.add_string buf "\n]\n";
+    Buffer.contents buf

@@ -1,0 +1,35 @@
+(** A single static-analysis finding.
+
+    Findings are value-like: the engine produces them sorted and
+    deduplicated, the baseline stores their {!key}s, and the driver renders
+    them either human-readable ([file:line:col: [rule] message]) or as JSON
+    for machine consumption. *)
+
+type t = {
+  rule : string;  (** Rule identifier, e.g. ["determinism"]. *)
+  file : string;  (** Repo-root-relative path, e.g. ["lib/core/database.ml"]. *)
+  line : int;  (** 1-based line. *)
+  col : int;  (** 0-based column, compiler convention. *)
+  message : string;
+}
+
+val make : rule:string -> file:string -> line:int -> col:int -> string -> t
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule, message) so reports are stable. *)
+
+val equal : t -> t -> bool
+
+val key : t -> string
+(** Stable baseline key: [rule|file|line|col].  The message is excluded so
+    rewording a rule does not invalidate a suppression. *)
+
+val to_string : t -> string
+(** [file:line:col: [rule] message] — the compiler-style format editors can
+    jump on. *)
+
+val to_json : t -> string
+(** One finding as a JSON object. *)
+
+val list_to_json : t list -> string
+(** A JSON array of findings, one per line, for [--json] output. *)

@@ -1,0 +1,39 @@
+(** The rule registry and the Parsetree-level checks.
+
+    Rules operate on untyped syntax (ppxlib's [Parsetree]) plus the file
+    set, so type-sensitive rules (polymorphic-compare, raw-LSN-arithmetic)
+    are deliberate syntactic approximations: they fire when an operand
+    *syntactically* mentions one of the protocol-type modules ([Lsn],
+    [Epoch], [Txn_id], [Member_id], [Pg_id]).  False negatives are possible
+    (a local binding of protocol type is invisible); false positives go on
+    a per-rule allowlist here or into the checked-in baseline.
+
+    Paths given to [applies]/allowlists are repo-root-relative logical
+    paths ([lib/core/database.ml]), regardless of where the tree was
+    scanned from. *)
+
+type rule = {
+  id : string;
+  description : string;  (** One line, shown by [aurora_lint --rules]. *)
+  applies : string -> bool;  (** Is the rule active in this file at all? *)
+  allow : string list;
+      (** Path prefixes exempted with justification; see DESIGN.md. *)
+}
+
+val all : rule list
+(** Every registered rule, in reporting order. *)
+
+val find : string -> rule option
+
+val active : rule -> string -> bool
+(** [active r path] — [r.applies path] and [path] is not allowlisted. *)
+
+val check_structure :
+  path:string -> Ppxlib.Parsetree.structure -> Finding.t list
+(** Run every expression-level rule active for [path] over one parsed
+    implementation.  Findings come back unsorted. *)
+
+val mli_coverage : ml_files:string list -> mli_files:string list -> Finding.t list
+(** The file-set-level rule: every [lib/**/*.ml] (logical paths) must have
+    a matching [.mli].  Pure — takes the file lists rather than touching
+    the filesystem, so tests can exercise it directly. *)

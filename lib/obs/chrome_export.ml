@@ -103,8 +103,7 @@ let to_json ctx =
     ring;
   let lanes =
     thread_name_meta 0 "volume"
-    :: (Hashtbl.fold (fun pg () acc -> pg :: acc) pgs []
-       |> List.sort compare
+    :: (Stable.sorted_keys ~cmp:Int.compare pgs
        |> List.map (fun pg ->
               thread_name_meta (tid_of_pg pg) (Printf.sprintf "pg %d" pg)))
   in

@@ -82,8 +82,8 @@ let mark t ~at ~lsn ?(member = -1) ?(pg = -1) stage =
 let live_timelines t = Hashtbl.length t.timelines
 
 let timelines t =
-  Hashtbl.fold (fun lsn (pg, tl) acc -> (lsn, !pg, Array.copy tl) :: acc) t.timelines []
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  Stable.sorted_bindings ~cmp:Int.compare t.timelines
+  |> List.map (fun (lsn, (pg, tl)) -> (lsn, !pg, Array.copy tl))
 
 let clear t =
   Hashtbl.reset t.timelines;

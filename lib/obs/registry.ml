@@ -92,9 +92,7 @@ let histogram_ref t ?labels name h = register_replacing t ?labels name (Hist h)
 let cardinality t = Hashtbl.length t.tbl
 
 let sorted_instruments t =
-  Hashtbl.fold (fun k inst acc -> (k, inst) :: acc) t.tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.map snd
+  Stable.sorted_bindings ~cmp:String.compare t.tbl |> List.map snd
 
 let find_histograms t name =
   List.filter_map

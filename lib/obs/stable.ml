@@ -1,0 +1,7 @@
+let sorted_bindings ~cmp tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> cmp a b)
+
+let sorted_keys ~cmp tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+  |> List.sort_uniq cmp

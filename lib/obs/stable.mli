@@ -1,0 +1,18 @@
+(** Order-stable views of hash tables for output-feeding code.
+
+    Hash tables iterate in hash order — a function of insertion history and
+    stdlib internals that the determinism gate can only catch
+    probabilistically.  Anything in the observability layer that renders a
+    table into JSON, traces, or time series goes through this module
+    instead, so emission order is always key-sorted.  The [stable-iteration]
+    lint rule bans [Hashtbl.iter]/[Hashtbl.fold] in output-feeding modules
+    and allowlists exactly this one. *)
+
+val sorted_bindings : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings sorted by key under [cmp].  For tables with multiple
+    bindings per key ([Hashtbl.add]-style shadowing), duplicates appear in
+    unspecified relative order — use replace-style tables for anything
+    rendered. *)
+
+val sorted_keys : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** Deduplicated keys sorted under [cmp]. *)

@@ -12,6 +12,14 @@ let k_of k members =
     invalid_arg "Quorum_set.k_of: threshold exceeds member count";
   Atom { threshold = k; members = set }
 
+let rec equal a b =
+  match (a, b) with
+  | Atom { threshold = ka; members = ma }, Atom { threshold = kb; members = mb }
+    ->
+    Int.equal ka kb && Member_id.Set.equal ma mb
+  | All xs, All ys | Any xs, Any ys -> List.equal equal xs ys
+  | (Atom _ | All _ | Any _), _ -> false
+
 let all ts = All ts
 let any ts = Any ts
 

@@ -27,6 +27,11 @@ val k_of : int -> Member_id.t list -> t
     @raise Invalid_argument if [k < 0], [k] exceeds the member count, or
     [members] has duplicates. *)
 
+val equal : t -> t -> bool
+(** Structural formula equality ([Member_id.Set.equal] on atoms; same
+    shape and operand order — not logical equivalence, which is what
+    {!overlaps}-style enumeration is for). *)
+
 val all : t list -> t
 val any : t list -> t
 

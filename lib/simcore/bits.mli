@@ -8,3 +8,27 @@ val clz : int -> int
 val highest_bit : int -> int
 (** [highest_bit v] is the position of the most significant set bit
     ([highest_bit 1 = 0]). *)
+
+(** {1 Deterministic hashing}
+
+    FNV-1a with 64-bit parameters, for anything whose hash can reach
+    simulation state or output: block placement, content checksums.  Unlike
+    [Hashtbl.hash], the result is a function of the bytes fed in — never of
+    value representation, tree shape, or stdlib version — so it is stable
+    across runs, platforms, and refactors (and the [determinism] lint rule
+    bans [Hashtbl.hash] in sim code accordingly).  All results are positive
+    (62-bit), safe for [mod]. *)
+
+val fnv1a_string : string -> int
+(** Hash one string from the standard seed. *)
+
+val fnv1a_seed : int
+(** Starting state for incremental hashing with the [fnv1a_add_*]
+    functions. *)
+
+val fnv1a_add_string : int -> string -> int
+(** Fold a string (plus a terminator, so concatenation boundaries are
+    significant) into an incremental hash. *)
+
+val fnv1a_add_int : int -> int -> int
+(** Fold an int (as 8 little-endian bytes) into an incremental hash. *)

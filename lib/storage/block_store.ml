@@ -39,9 +39,14 @@ let compute_checksum e =
       match versions with
       | [] -> acc
       | v :: _ ->
+        let h = Simcore.Bits.fnv1a_string key in
         let h =
-          Hashtbl.hash (key, v.value, Txn_id.to_int v.txn, Lsn.to_int v.lsn)
+          match v.value with
+          | Some s -> Simcore.Bits.fnv1a_add_string h s
+          | None -> Simcore.Bits.fnv1a_add_int h (-1)
         in
+        let h = Simcore.Bits.fnv1a_add_int h (Txn_id.to_int v.txn) in
+        let h = Simcore.Bits.fnv1a_add_int h (Lsn.to_int v.lsn) in
         acc + h)
     e.keys 0
 

@@ -42,6 +42,26 @@ let make ~lsn ~prev_volume ~prev_segment ~prev_block ~block ~txn ~mtr_id
     size_bytes = header_bytes + op_bytes op;
   }
 
+let equal_op a b =
+  match (a, b) with
+  | Put { key = ka; value = va }, Put { key = kb; value = vb } ->
+    String.equal ka kb && String.equal va vb
+  | Delete { key = ka }, Delete { key = kb } -> String.equal ka kb
+  | Commit, Commit | Abort, Abort | Noop, Noop -> true
+  | (Put _ | Delete _ | Commit | Abort | Noop), _ -> false
+
+let equal a b =
+  Lsn.equal a.lsn b.lsn
+  && Lsn.equal a.prev_volume b.prev_volume
+  && Lsn.equal a.prev_segment b.prev_segment
+  && Lsn.equal a.prev_block b.prev_block
+  && Block_id.equal a.block b.block
+  && Txn_id.equal a.txn b.txn
+  && Int.equal a.mtr_id b.mtr_id
+  && Bool.equal a.mtr_end b.mtr_end
+  && equal_op a.op b.op
+  && Int.equal a.size_bytes b.size_bytes
+
 let is_commit t = match t.op with Commit -> true | Put _ | Delete _ | Abort | Noop -> false
 let is_abort t = match t.op with Abort -> true | Put _ | Delete _ | Commit | Noop -> false
 

@@ -55,6 +55,13 @@ val make :
 val header_bytes : int
 (** Fixed per-record overhead used by [make]'s size estimate. *)
 
+val equal_op : op -> op -> bool
+
+val equal : t -> t -> bool
+(** Structural equality on every field via each component's own [equal]
+    (hand-written — the record mixes abstract protocol types on which
+    polymorphic compare is off-limits). *)
+
 val is_commit : t -> bool
 val is_abort : t -> bool
 val pp : Format.formatter -> t -> unit

@@ -9,6 +9,7 @@ let of_int i =
 let to_int t = t
 let next t = t + 1
 let add t n = t + n
+let diff a b = a - b
 let compare = Int.compare
 let equal = Int.equal
 let ( < ) (a : t) b = Stdlib.( < ) a b

@@ -20,6 +20,13 @@ val of_int : int -> t
 val to_int : t -> int
 val next : t -> t
 val add : t -> int -> t
+
+val diff : t -> t -> int
+(** [diff a b] is how far [a] is ahead of [b] (negative if behind) — the
+    lag/backlog metric.  The only sanctioned LSN subtraction; the
+    [lsn-arith] lint rule bans raw arithmetic on LSNs elsewhere. *)
+
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val ( < ) : t -> t -> bool

@@ -4,6 +4,7 @@ let make ~above ~upto =
   if Lsn.(upto < above) then invalid_arg "Truncation.make: upto < above";
   { above; upto }
 
+let equal a b = Lsn.equal a.above b.above && Lsn.equal a.upto b.upto
 let annuls t lsn = Lsn.(lsn > t.above) && Lsn.(lsn <= t.upto)
 let next_allocatable t = Lsn.next t.upto
 

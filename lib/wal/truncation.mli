@@ -14,6 +14,9 @@ type t = private {
 val make : above:Lsn.t -> upto:Lsn.t -> t
 (** @raise Invalid_argument if [upto < above]. *)
 
+val equal : t -> t -> bool
+(** Same annulled range (field-wise [Lsn.equal]). *)
+
 val annuls : t -> Lsn.t -> bool
 val next_allocatable : t -> Lsn.t
 (** First LSN above the range, where post-recovery allocation resumes. *)

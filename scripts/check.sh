@@ -17,6 +17,15 @@ if [ -n "$staged_build" ]; then
 fi
 
 dune build @all
+
+# Static-analysis gate: aurora_lint walks every .ml/.mli under lib/ bin/
+# bench/ test/ and fails on any finding not frozen in lint/baseline.txt
+# (determinism, stable iteration, protocol-type discipline, interface
+# coverage, raw LSN arithmetic — see DESIGN.md §6).  Runs before the
+# runtime determinism gate because it rejects the *root causes* the byte
+# diff below can only catch probabilistically.
+dune build @lint
+
 dune runtest
 
 # Determinism gate: the whole sim (including the observability sampler,

@@ -1,0 +1,4 @@
+(* Fixture: raw integer arithmetic on LSN-carrying values. *)
+let bump l = Lsn.to_int l + 1
+let gap a b = Lsn.to_int a - Lsn.to_int b
+let scaled n l = n * Lsn.to_int l

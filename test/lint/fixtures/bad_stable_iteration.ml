@@ -1,0 +1,3 @@
+(* Fixture: hash-order iteration in an output-feeding module. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+let pairs tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

@@ -10,7 +10,7 @@ let make_chain ?(first_prev = Lsn.none) n =
   let rec go i prev acc =
     if i > n then List.rev acc
     else begin
-      let l = lsn (Lsn.to_int first_prev + i) in
+      let l = Lsn.add first_prev i in
       let r =
         Log_record.make ~lsn:l ~prev_volume:prev ~prev_segment:prev
           ~prev_block:Lsn.none
