@@ -124,10 +124,12 @@ let note_ack t ~pg ~seg ~scl =
     | None -> Lsn.none
   in
   if Lsn.(scl > prev) then begin
+    Perf.Probe.start Perf.Probe.Consistency_advance;
     Member_id.Tbl.replace st.scls seg scl;
     let before = st.pgcl in
     advance_pgcl t pg st;
-    if Lsn.(st.pgcl > before) then advance_vcl t
+    if Lsn.(st.pgcl > before) then advance_vcl t;
+    Perf.Probe.stop Perf.Probe.Consistency_advance
   end
 
 let segment_scl t ~pg ~seg =

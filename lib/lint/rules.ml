@@ -8,10 +8,13 @@ let has_prefix ~prefix s =
 
 let under dir path = has_prefix ~prefix:(dir ^ "/") path
 
-(* Sim code: everything compiled into the simulator and its CLI.  bench/ is
-   excluded on purpose — wall-clock timing of the harness itself is the one
-   legitimate use of real time. *)
-let sim_code path = under "lib" path || under "bin" path
+(* Sim code: everything compiled into the simulator, its CLI, and the
+   benchmark harness.  Wall-clock timing of the harness itself is the one
+   legitimate use of real time, and Perf.Clock is the one module allowed to
+   perform it — everything else (bench/ included) must route wall-clock
+   reads through it. *)
+let sim_code path =
+  under "lib" path || under "bin" path || under "bench" path
 
 (* Modules whose hash-table iteration order can leak into JSON / trace /
    time-series output.  lib/obs is the whole observability layer; report and
@@ -35,9 +38,13 @@ let determinism =
     id = "determinism";
     description =
       "no Unix.*, Sys.time, Random.*, or Hashtbl.hash in sim code; route \
-       time through Simcore.Time_ns and randomness through Simcore.Rng";
+       sim time through Simcore.Time_ns, randomness through Simcore.Rng, \
+       and harness wall-clock through Perf.Clock";
     applies = sim_code;
-    allow = [];
+    (* The perf layer's wall-clock gateway: the single audited module that
+       may read real time (for benchmark reports and profiling probes, never
+       for simulated behaviour). *)
+    allow = [ "lib/perf/clock.ml" ];
   }
 
 let stable_iteration =

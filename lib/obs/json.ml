@@ -83,3 +83,183 @@ let to_string ?(pretty = false) t =
   in
   go 0 t;
   Buffer.contents buf
+
+(* ---- parser ---- *)
+
+(* Recursive-descent parser for exactly the dialect [to_string] emits (plus
+   arbitrary inter-token whitespace).  [null] parses as [Null], which means
+   a non-finite float does not survive a round trip — that is the printer's
+   documented lossiness, not the parser's. *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | Some x -> fail (Printf.sprintf "expected %C, found %C" c x)
+    | None -> fail (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "invalid \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let escape_char () =
+      match peek () with
+      | Some '"' -> Buffer.add_char buf '"'; advance ()
+      | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+      | Some '/' -> Buffer.add_char buf '/'; advance ()
+      | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+      | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance ()
+      | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+      | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+      | Some 'u' ->
+        advance ();
+        if !pos + 4 > n then fail "truncated \\u escape";
+        let code =
+          (hex_digit s.[!pos] lsl 12)
+          lor (hex_digit s.[!pos + 1] lsl 8)
+          lor (hex_digit s.[!pos + 2] lsl 4)
+          lor hex_digit s.[!pos + 3]
+        in
+        pos := !pos + 4;
+        (* The printer only emits \u00xx for control characters; decode the
+           Latin-1 range as bytes and refuse anything wider rather than
+           mis-encode it. *)
+        if code < 0x100 then Buffer.add_char buf (Char.chr code)
+        else fail "\\u escape beyond latin-1 is not supported"
+      | Some c -> fail (Printf.sprintf "bad escape \\%C" c)
+      | None -> fail "unterminated escape"
+    in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          escape_char ();
+          go ()
+        | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_float = ref false in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some ('0' .. '9') -> advance ()
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+        is_float := true;
+        advance ()
+      | _ -> continue := false
+    done;
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "expected a value, found end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := field () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input after the value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+    Error (Printf.sprintf "json parse error at byte %d: %s" at msg)

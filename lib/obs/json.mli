@@ -21,3 +21,10 @@ val to_string : ?pretty:bool -> t -> string
 
 val escape : string -> string
 (** JSON string escaping, without the surrounding quotes. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing input is
+    an error).  Covers what {!to_string} produces — in particular a number
+    with a ['.'], ['e'] or ['E'] parses as [Float] and anything else as
+    [Int], so printing and re-parsing a tree is the identity.  Errors carry
+    a byte offset. *)

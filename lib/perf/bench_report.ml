@@ -1,0 +1,285 @@
+module J = Obs.Json
+
+let schema_version = 1
+
+type scenario_params = {
+  txns : int;
+  pgs : int;
+  seed : int;
+  rate_per_sec : float;
+}
+
+type gc = {
+  minor_words_per_commit : float;
+  major_words_per_commit : float;
+  promoted_words_per_commit : float;
+  top_heap_words : int;
+}
+
+type subsystem = {
+  subsystem : string;
+  calls : int;
+  wall_ns : int;
+  minor_words : float;
+}
+
+type micro = { bench_name : string; ns_per_op : float }
+
+type scenario_measured = {
+  commits_acked : int;
+  sim_duration_ns : int;
+  commits_per_sec_sim : float;
+  events_processed : int;
+  wall_ns : int;
+  events_per_sec_wall : float;
+  gc : gc;
+  subsystems : subsystem list;
+}
+
+type meta = {
+  bench_id : string;
+  git_sha : string;
+  ocaml_version : string;
+  scenario : scenario_params;
+}
+
+type t = {
+  meta : meta;
+  scenario_measured : scenario_measured;
+  micro : micro list;
+}
+
+(* ---- encoding -------------------------------------------------------- *)
+
+let to_json t =
+  J.Obj
+    [
+      ("schema_version", J.Int schema_version);
+      ( "meta",
+        J.Obj
+          [
+            ("bench_id", J.String t.meta.bench_id);
+            ("git_sha", J.String t.meta.git_sha);
+            ("ocaml_version", J.String t.meta.ocaml_version);
+            ( "scenario",
+              J.Obj
+                [
+                  ("txns", J.Int t.meta.scenario.txns);
+                  ("pgs", J.Int t.meta.scenario.pgs);
+                  ("seed", J.Int t.meta.scenario.seed);
+                  ("rate_per_sec", J.Float t.meta.scenario.rate_per_sec);
+                ] );
+          ] );
+      ( "measured",
+        J.Obj
+          [
+            ( "scenario",
+              J.Obj
+                [
+                  ("commits_acked", J.Int t.scenario_measured.commits_acked);
+                  ("sim_duration_ns", J.Int t.scenario_measured.sim_duration_ns);
+                  ( "commits_per_sec_sim",
+                    J.Float t.scenario_measured.commits_per_sec_sim );
+                  ( "events_processed",
+                    J.Int t.scenario_measured.events_processed );
+                  ("wall_ns", J.Int t.scenario_measured.wall_ns);
+                  ( "events_per_sec_wall",
+                    J.Float t.scenario_measured.events_per_sec_wall );
+                  ( "gc",
+                    J.Obj
+                      [
+                        ( "minor_words_per_commit",
+                          J.Float t.scenario_measured.gc.minor_words_per_commit
+                        );
+                        ( "major_words_per_commit",
+                          J.Float t.scenario_measured.gc.major_words_per_commit
+                        );
+                        ( "promoted_words_per_commit",
+                          J.Float
+                            t.scenario_measured.gc.promoted_words_per_commit );
+                        ( "top_heap_words",
+                          J.Int t.scenario_measured.gc.top_heap_words );
+                      ] );
+                  ( "subsystems",
+                    J.List
+                      (List.map
+                         (fun s ->
+                           J.Obj
+                             [
+                               ("name", J.String s.subsystem);
+                               ("calls", J.Int s.calls);
+                               ("wall_ns", J.Int s.wall_ns);
+                               ("minor_words", J.Float s.minor_words);
+                             ])
+                         t.scenario_measured.subsystems) );
+                ] );
+            ( "micro",
+              J.List
+                (List.map
+                   (fun m ->
+                     J.Obj
+                       [
+                         ("name", J.String m.bench_name);
+                         ("ns_per_op", J.Float m.ns_per_op);
+                       ])
+                   t.micro) );
+          ] );
+    ]
+
+(* ---- decoding -------------------------------------------------------- *)
+
+(* Tiny applicative-free decoding helpers: every accessor threads a [path]
+   so a malformed report names the exact field that broke. *)
+
+exception Decode of string
+
+let fail path msg = raise (Decode (Printf.sprintf "%s: %s" path msg))
+
+let field path fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> fail path (Printf.sprintf "missing field %S" k)
+
+let obj path = function
+  | J.Obj fields -> fields
+  | _ -> fail path "expected an object"
+
+let list path = function
+  | J.List items -> items
+  | _ -> fail path "expected a list"
+
+let str path = function
+  | J.String s -> s
+  | _ -> fail path "expected a string"
+
+let int path = function
+  | J.Int i -> i
+  | _ -> fail path "expected an integer"
+
+(* Integral floats print as e.g. [12.0] but hand-edited reports may carry
+   bare integers; accept both. *)
+let float_ path = function
+  | J.Float f -> f
+  | J.Int i -> float_of_int i
+  | _ -> fail path "expected a number"
+
+let of_json json =
+  match
+    let path = "$" in
+    let top = obj path json in
+    let v = int (path ^ ".schema_version") (field path top "schema_version") in
+    if v <> schema_version then
+      fail (path ^ ".schema_version")
+        (Printf.sprintf "unsupported version %d (want %d)" v schema_version);
+    let mp = path ^ ".meta" in
+    let m = obj mp (field path top "meta") in
+    let sp = mp ^ ".scenario" in
+    let sc = obj sp (field mp m "scenario") in
+    let scenario =
+      {
+        txns = int (sp ^ ".txns") (field sp sc "txns");
+        pgs = int (sp ^ ".pgs") (field sp sc "pgs");
+        seed = int (sp ^ ".seed") (field sp sc "seed");
+        rate_per_sec = float_ (sp ^ ".rate_per_sec") (field sp sc "rate_per_sec");
+      }
+    in
+    let meta =
+      {
+        bench_id = str (mp ^ ".bench_id") (field mp m "bench_id");
+        git_sha = str (mp ^ ".git_sha") (field mp m "git_sha");
+        ocaml_version = str (mp ^ ".ocaml_version") (field mp m "ocaml_version");
+        scenario;
+      }
+    in
+    let xp = path ^ ".measured" in
+    let x = obj xp (field path top "measured") in
+    let rp = xp ^ ".scenario" in
+    let r = obj rp (field xp x "scenario") in
+    let gp = rp ^ ".gc" in
+    let g = obj gp (field rp r "gc") in
+    let gc =
+      {
+        minor_words_per_commit =
+          float_ (gp ^ ".minor_words_per_commit")
+            (field gp g "minor_words_per_commit");
+        major_words_per_commit =
+          float_ (gp ^ ".major_words_per_commit")
+            (field gp g "major_words_per_commit");
+        promoted_words_per_commit =
+          float_ (gp ^ ".promoted_words_per_commit")
+            (field gp g "promoted_words_per_commit");
+        top_heap_words =
+          int (gp ^ ".top_heap_words") (field gp g "top_heap_words");
+      }
+    in
+    let subsystems =
+      List.mapi
+        (fun i item ->
+          let p = Printf.sprintf "%s.subsystems[%d]" rp i in
+          let f = obj p item in
+          {
+            subsystem = str (p ^ ".name") (field p f "name");
+            calls = int (p ^ ".calls") (field p f "calls");
+            wall_ns = int (p ^ ".wall_ns") (field p f "wall_ns");
+            minor_words = float_ (p ^ ".minor_words") (field p f "minor_words");
+          })
+        (list (rp ^ ".subsystems") (field rp r "subsystems"))
+    in
+    let scenario_measured =
+      {
+        commits_acked = int (rp ^ ".commits_acked") (field rp r "commits_acked");
+        sim_duration_ns =
+          int (rp ^ ".sim_duration_ns") (field rp r "sim_duration_ns");
+        commits_per_sec_sim =
+          float_ (rp ^ ".commits_per_sec_sim")
+            (field rp r "commits_per_sec_sim");
+        events_processed =
+          int (rp ^ ".events_processed") (field rp r "events_processed");
+        wall_ns = int (rp ^ ".wall_ns") (field rp r "wall_ns");
+        events_per_sec_wall =
+          float_ (rp ^ ".events_per_sec_wall")
+            (field rp r "events_per_sec_wall");
+        gc;
+        subsystems;
+      }
+    in
+    let micro =
+      List.mapi
+        (fun i item ->
+          let p = Printf.sprintf "%s.micro[%d]" xp i in
+          let f = obj p item in
+          {
+            bench_name = str (p ^ ".name") (field p f "name");
+            ns_per_op = float_ (p ^ ".ns_per_op") (field p f "ns_per_op");
+          })
+        (list (xp ^ ".micro") (field xp x "micro"))
+    in
+    { meta; scenario_measured; micro }
+  with
+  | t -> Ok t
+  | exception Decode msg -> Error msg
+
+(* ---- convenience ----------------------------------------------------- *)
+
+let to_string t = J.to_string ~pretty:true (to_json t) ^ "\n"
+
+let of_string s =
+  match J.of_string s with
+  | Error e -> Error e
+  | Ok json -> of_json json
+
+let write ~path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let read ~path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    of_string s
+
+let equal a b = a = b

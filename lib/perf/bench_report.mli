@@ -1,0 +1,75 @@
+(** The [BENCH_*.json] performance-report schema: writer, reader, and the
+    record every speed claim in this repo is checked against.
+
+    A report separates what is {e deterministic metadata} (bench id, git
+    sha, OCaml version, scenario parameters — identical across reruns) from
+    what is {e measured} (wall-clock rates, GC accounting, per-subsystem
+    profiles, micro-benchmark estimates — machine- and run-dependent).
+    [scripts/bench.sh] emits one report per PR at the repo root;
+    [aurora_cli perf] reads the resulting trajectory and diffs reports
+    against a regression threshold. *)
+
+val schema_version : int
+
+type scenario_params = {
+  txns : int;  (** Transactions the open-loop generator offers. *)
+  pgs : int;  (** Protection groups in the reference cluster. *)
+  seed : int;
+  rate_per_sec : float;  (** Open-loop arrival rate. *)
+}
+
+type gc = {
+  minor_words_per_commit : float;
+  major_words_per_commit : float;
+  promoted_words_per_commit : float;
+  top_heap_words : int;  (** Peak major-heap size over the run. *)
+}
+
+type subsystem = {
+  subsystem : string;  (** A {!Probe.name}. *)
+  calls : int;
+  wall_ns : int;
+  minor_words : float;
+}
+
+type micro = {
+  bench_name : string;
+  ns_per_op : float;  (** Bechamel OLS estimate. *)
+}
+
+type scenario_measured = {
+  commits_acked : int;
+  sim_duration_ns : int;  (** Simulated time the scenario covered. *)
+  commits_per_sec_sim : float;  (** acked / simulated seconds. *)
+  events_processed : int;  (** Simulator events dispatched. *)
+  wall_ns : int;  (** Real time the whole scenario run took. *)
+  events_per_sec_wall : float;  (** events_processed / wall seconds. *)
+  gc : gc;
+  subsystems : subsystem list;
+}
+
+type meta = {
+  bench_id : string;  (** e.g. ["BENCH_006"]. *)
+  git_sha : string;  (** ["unknown"] when not provided. *)
+  ocaml_version : string;
+  scenario : scenario_params;
+}
+
+type t = {
+  meta : meta;
+  scenario_measured : scenario_measured;
+  micro : micro list;  (** Empty in tiny/smoke runs. *)
+}
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+
+val to_string : t -> string
+(** Pretty-printed; stable byte-for-byte for equal reports. *)
+
+val of_string : string -> (t, string) result
+
+val write : path:string -> t -> unit
+val read : path:string -> (t, string) result
+
+val equal : t -> t -> bool

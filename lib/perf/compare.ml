@@ -1,0 +1,88 @@
+type direction = Higher_is_better | Lower_is_better
+
+let metrics_of (r : Bench_report.t) =
+  let s = r.scenario_measured in
+  [
+    ("commits_per_sec_sim", s.commits_per_sec_sim);
+    ("events_per_sec_wall", s.events_per_sec_wall);
+    ("gc.minor_words_per_commit", s.gc.minor_words_per_commit);
+    ("gc.major_words_per_commit", s.gc.major_words_per_commit);
+    ("gc.promoted_words_per_commit", s.gc.promoted_words_per_commit);
+    ("gc.top_heap_words", float_of_int s.gc.top_heap_words);
+  ]
+  @ List.map
+      (fun (m : Bench_report.micro) -> ("micro:" ^ m.bench_name, m.ns_per_op))
+      r.micro
+
+let direction_of key =
+  match key with
+  | "commits_per_sec_sim" | "events_per_sec_wall" -> Higher_is_better
+  | _ -> Lower_is_better
+
+type verdict = Improved | Regressed | Within_threshold
+
+let verdict dir ~threshold_pct ~old_value ~new_value =
+  let beyond, better =
+    if old_value = 0. then
+      ( new_value <> 0.,
+        match dir with
+        | Higher_is_better -> new_value > 0.
+        | Lower_is_better -> new_value < 0. )
+    else begin
+      let delta_pct = (new_value -. old_value) /. Float.abs old_value *. 100. in
+      ( Float.abs delta_pct > threshold_pct,
+        match dir with
+        | Higher_is_better -> delta_pct > 0.
+        | Lower_is_better -> delta_pct < 0. )
+    end
+  in
+  if not beyond then Within_threshold
+  else if better then Improved
+  else Regressed
+
+type row = {
+  key : string;
+  old_value : float option;
+  new_value : float option;
+  delta_pct : float option;
+  result : verdict option;
+}
+
+let diff ~threshold_pct ~old_report ~new_report =
+  let old_metrics = metrics_of old_report in
+  let new_metrics = metrics_of new_report in
+  let keys =
+    List.map fst old_metrics
+    @ List.filter
+        (fun k -> not (List.mem_assoc k old_metrics))
+        (List.map fst new_metrics)
+  in
+  List.map
+    (fun key ->
+      let old_value = List.assoc_opt key old_metrics in
+      let new_value = List.assoc_opt key new_metrics in
+      match (old_value, new_value) with
+      | Some o, Some n ->
+        let delta_pct =
+          if o = 0. then None else Some ((n -. o) /. Float.abs o *. 100.)
+        in
+        {
+          key;
+          old_value;
+          new_value;
+          delta_pct;
+          result =
+            Some
+              (verdict (direction_of key) ~threshold_pct ~old_value:o
+                 ~new_value:n);
+        }
+      | _ -> { key; old_value; new_value; delta_pct = None; result = None })
+    keys
+
+let regressions rows =
+  List.filter (fun r -> r.result = Some Regressed) rows
+
+let verdict_to_string = function
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Within_threshold -> "within threshold"

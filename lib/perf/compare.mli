@@ -1,0 +1,49 @@
+(** Regression comparison between two {!Bench_report.t}s.
+
+    Each report flattens into a keyed metric list (throughput rates,
+    GC-per-commit accounting, per-micro-bench ns/op); two reports diff
+    metric-by-metric against a relative threshold, classifying each as
+    improved, regressed, or within threshold.  Wall-clock metrics are
+    machine-dependent, so the threshold is the caller's statement of how
+    much noise their machine produces (default 10%). *)
+
+type direction =
+  | Higher_is_better  (** Throughput rates. *)
+  | Lower_is_better  (** Latency, allocation, heap size. *)
+
+val metrics_of : Bench_report.t -> (string * float) list
+(** Flatten the measured (never the metadata) fields into [(key, value)]
+    rows, in stable order: ["commits_per_sec_sim"],
+    ["events_per_sec_wall"], the four ["gc.*"] rows, then one
+    ["micro:<name>"] row per micro-benchmark. *)
+
+val direction_of : string -> direction
+(** By key: rates are {!Higher_is_better}; everything else (gc, micro
+    ns/op) is {!Lower_is_better}. *)
+
+type verdict = Improved | Regressed | Within_threshold
+
+val verdict :
+  direction -> threshold_pct:float -> old_value:float -> new_value:float ->
+  verdict
+(** Relative change beyond [threshold_pct] percent in the good direction is
+    {!Improved}, in the bad direction {!Regressed}; anything else (including
+    both values zero) is {!Within_threshold}.  A zero [old_value] with a
+    nonzero new one counts as beyond any threshold. *)
+
+type row = {
+  key : string;
+  old_value : float option;  (** [None]: metric absent from the old report. *)
+  new_value : float option;
+  delta_pct : float option;  (** Signed relative change, when both present. *)
+  result : verdict option;  (** [None] when either side is missing. *)
+}
+
+val diff :
+  threshold_pct:float -> old_report:Bench_report.t -> new_report:Bench_report.t ->
+  row list
+(** Union of both reports' metric keys, old-report order first. *)
+
+val regressions : row list -> row list
+
+val verdict_to_string : verdict -> string

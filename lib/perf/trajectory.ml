@@ -1,0 +1,47 @@
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let has_suffix ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let list_files ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    let files =
+      Array.to_list entries
+      |> List.filter (fun f ->
+             has_prefix ~prefix:"BENCH_" f && has_suffix ~suffix:".json" f)
+    in
+    List.sort String.compare files
+
+let load ~dir =
+  List.map
+    (fun f -> (f, Bench_report.read ~path:(Filename.concat dir f)))
+    (list_files ~dir)
+
+type series = { metric : string; points : (string * float) list }
+
+let trend reports =
+  let order = ref [] in
+  (* metric -> points, accumulated in reverse *)
+  let acc = ref [] in
+  List.iter
+    (fun (file, report) ->
+      let id = (report : Bench_report.t).meta.bench_id in
+      let label = if id = "" then file else id in
+      List.iter
+        (fun (key, value) ->
+          match List.assoc_opt key !acc with
+          | Some points -> acc := (key, (label, value) :: points) :: List.remove_assoc key !acc
+          | None ->
+            order := key :: !order;
+            acc := (key, [ (label, value) ]) :: !acc)
+        (Compare.metrics_of report))
+    reports;
+  List.rev_map
+    (fun key ->
+      { metric = key; points = List.rev (List.assoc key !acc) })
+    !order

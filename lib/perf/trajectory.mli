@@ -1,0 +1,21 @@
+(** The performance trajectory: every [BENCH_*.json] in a directory, in
+    bench-id order, flattened per metric so trends are printable and the
+    latest report is diffable against any ancestor. *)
+
+val list_files : dir:string -> string list
+(** Basenames matching [BENCH_*.json], sorted (the zero-padded numbering
+    makes lexicographic order chronological). *)
+
+val load : dir:string -> (string * (Bench_report.t, string) result) list
+(** Parse every listed file; unreadable or malformed reports surface as
+    [Error] rows rather than being silently dropped. *)
+
+type series = {
+  metric : string;  (** A {!Compare.metrics_of} key. *)
+  points : (string * float) list;  (** [(bench_id, value)] in file order. *)
+}
+
+val trend : (string * Bench_report.t) list -> series list
+(** One series per metric key, keys in first-appearance order.  A report
+    missing a metric (e.g. a micro bench that was added later) simply has
+    no point in that series. *)

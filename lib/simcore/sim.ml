@@ -7,13 +7,19 @@ type event = {
   action : unit -> unit;
 }
 
+type probe = { on_start : unit -> unit; on_stop : unit -> unit }
+
 type t = {
   mutable clock : Time_ns.t;
   queue : event Heap.t;
   cancelled : (event_id, unit) Hashtbl.t;
   mutable next_seq : int;
   mutable executed : int;
+  mutable max_heap_depth : int;
+  mutable probe : probe option;
 }
+
+type stats = { processed : int; pending : int; max_heap_depth : int }
 
 let compare_event a b =
   let c = Time_ns.compare a.at b.at in
@@ -26,6 +32,8 @@ let create () =
     cancelled = Hashtbl.create 64;
     next_seq = 0;
     executed = 0;
+    max_heap_depth = 0;
+    probe = None;
   }
 
 let now t = t.clock
@@ -36,6 +44,8 @@ let schedule_at t ~at action =
   t.next_seq <- seq + 1;
   let id = seq in
   Heap.push t.queue { at; seq; id; action };
+  let depth = Heap.length t.queue in
+  if depth > t.max_heap_depth then t.max_heap_depth <- depth;
   id
 
 let schedule t ~delay action =
@@ -52,7 +62,15 @@ let exec t ev =
   else begin
     t.clock <- ev.at;
     t.executed <- t.executed + 1;
-    ev.action ()
+    (* The probe lives outside sim state (wall-clock timers, allocation
+       counters); installing one changes nothing the simulation can
+       observe. *)
+    match t.probe with
+    | None -> ev.action ()
+    | Some p ->
+      p.on_start ();
+      ev.action ();
+      p.on_stop ()
   end
 
 let step t =
@@ -76,3 +94,8 @@ let run_until t limit =
 
 let pending t = Heap.length t.queue - Hashtbl.length t.cancelled
 let processed t = t.executed
+
+let stats t =
+  { processed = t.executed; pending = pending t; max_heap_depth = t.max_heap_depth }
+
+let set_probe t probe = t.probe <- probe

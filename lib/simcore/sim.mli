@@ -51,3 +51,25 @@ val pending : t -> int
 
 val processed : t -> int
 (** Total events executed so far (a cheap progress/efficiency metric). *)
+
+type stats = {
+  processed : int;  (** Events executed (same as {!processed}). *)
+  pending : int;  (** Same as {!pending}. *)
+  max_heap_depth : int;
+      (** High-water mark of the event queue over the whole run — the
+          number every pooling/flattening optimisation must size for. *)
+}
+
+val stats : t -> stats
+(** Dispatch counters.  Deterministic: derived purely from scheduling
+    activity, never from wall-clock. *)
+
+type probe = { on_start : unit -> unit; on_stop : unit -> unit }
+(** Hooks run around each event execution.  Intended for the perf layer's
+    wall-clock/allocation accounting ([Perf.Probe.install_sim]); hooks
+    must not schedule events, draw randomness, or otherwise touch sim
+    state, so that an instrumented run stays byte-identical to a bare
+    one. *)
+
+val set_probe : t -> probe option -> unit
+(** [None] (the default) restores the zero-overhead path. *)

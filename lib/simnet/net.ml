@@ -178,5 +178,9 @@ let send t ~src ~dst ?(bytes = 64) msg =
                    delivered = t.st.delivered + 1;
                    bytes_delivered = t.st.bytes_delivered + bytes;
                  };
-               handler env))
+               (* Perf span around the handler only — latency modelling and
+                  drop bookkeeping above are scheduling, not delivery work. *)
+               Perf.Probe.start Perf.Probe.Net_delivery;
+               handler env;
+               Perf.Probe.stop Perf.Probe.Net_delivery))
   end

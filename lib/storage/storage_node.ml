@@ -155,6 +155,7 @@ let handle_write t ~reply_to ~pg ~seg ~records ~pgcl ~epochs =
         let bytes = Protocol.records_bytes records in
         Disk.submit t.disk ~bytes (fun () ->
             if t.alive then begin
+              Perf.Probe.start Perf.Probe.Storage_apply;
               let before = Hot_log.record_count (Segment.hot_log s) in
               let scl = Segment.insert_records s records in
               let after = Hot_log.record_count (Segment.hot_log s) in
@@ -162,7 +163,8 @@ let handle_write t ~reply_to ~pg ~seg ~records ~pgcl ~epochs =
               t.metrics.records_stored <- t.metrics.records_stored + (after - before);
               t.metrics.duplicates <-
                 t.metrics.duplicates + (List.length records - (after - before));
-              send t ~dst:reply_to (Protocol.Write_ack { pg; seg; scl })
+              send t ~dst:reply_to (Protocol.Write_ack { pg; seg; scl });
+              Perf.Probe.stop Perf.Probe.Storage_apply
             end)
     end
 

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Performance trajectory: run the Bechamel micro-suite plus the end-to-end
+# reference scenario and write a machine-readable BENCH_*.json report at the
+# repo root (see lib/perf/bench_report.mli for the schema).
+#
+#   scripts/bench.sh              # writes BENCH_NNN.json (next free number)
+#   scripts/bench.sh BENCH_007.json
+#
+# After writing, the trajectory is listed and — when a previous report
+# exists — the new report is diffed against the latest one with the default
+# 10% regression threshold (informational: wall-clock metrics are machine-
+# dependent, so cross-machine diffs are noise).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ $# -ge 1 ]; then
+  out=$1
+else
+  # Next free BENCH_NNN.json, zero-padded so lexicographic order stays
+  # chronological.
+  n=1
+  while [ -e "$(printf 'BENCH_%03d.json' "$n")" ]; do
+    n=$((n + 1))
+  done
+  out=$(printf 'BENCH_%03d.json' "$n")
+fi
+
+prev=$(ls BENCH_*.json 2>/dev/null | grep -v "^$out\$" | sort | tail -1 || true)
+
+dune build bench/main.exe bin/aurora_cli.exe
+
+AURORA_GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown) \
+  dune exec --no-build bench/main.exe -- report --out "$out"
+
+echo
+dune exec --no-build bin/aurora_cli.exe -- perf list --dir .
+
+if [ -n "$prev" ]; then
+  echo
+  echo "-- diff vs $prev (informational) --"
+  dune exec --no-build bin/aurora_cli.exe -- perf diff "$prev" "$out" || true
+fi

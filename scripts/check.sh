@@ -28,6 +28,11 @@ dune build @lint
 
 dune runtest
 
+# Perf-report smoke: write a tiny-scale BENCH report and push it through the
+# reader + regression-compare path (no timing assertions), so the JSON
+# writer and compare logic cannot rot between bench runs.
+dune build @bench-smoke
+
 # Determinism gate: the whole sim (including the observability sampler,
 # time-series decimation, and trace) must be byte-identical across reruns
 # of the same seed.  Any nondeterminism (hash-order iteration, wall-clock

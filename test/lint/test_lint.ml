@@ -86,9 +86,20 @@ let test_clean_fixture () =
     (lint_as ~path:"lib/obs/clean.ml" "clean.ml")
 
 let test_scope () =
-  (* Wall-clock use is legal outside sim code (bench/) but not inside. *)
-  check_shapes "determinism rule inactive in bench/" []
+  (* bench/ is sim code too: harness timing must route through Perf.Clock,
+     so raw wall-clock reads are findings there as well. *)
+  check_shapes "determinism rule active in bench/"
+    [
+      ("determinism", 2, 13);
+      ("determinism", 3, 13);
+      ("determinism", 4, 14);
+      ("determinism", 5, 15);
+      ("determinism", 6, 18);
+    ]
     (lint_as ~path:"bench/bad_determinism.ml" "bad_determinism.ml");
+  (* ...but test/ is not sim code. *)
+  check_shapes "determinism rule inactive in test/" []
+    (lint_as ~path:"test/fake/bad_determinism.ml" "bad_determinism.ml");
   (* Hash iteration is only a finding in output-feeding modules. *)
   check_shapes "stable-iteration inactive outside lib/obs" []
     (lint_as ~path:"lib/core/bad_stable_iteration.ml" "bad_stable_iteration.ml")
@@ -99,7 +110,10 @@ let test_allowlist () =
     (lint_as ~path:"lib/obs/stable.ml" "bad_stable_iteration.ml");
   (* lib/wal/lsn.ml owns LSN arithmetic. *)
   check_shapes "lsn.ml may do LSN arithmetic" []
-    (lint_as ~path:"lib/wal/lsn.ml" "bad_lsn_arith.ml")
+    (lint_as ~path:"lib/wal/lsn.ml" "bad_lsn_arith.ml");
+  (* lib/perf/clock.ml is the single wall-clock gateway. *)
+  check_shapes "clock.ml may read real time" []
+    (lint_as ~path:"lib/perf/clock.ml" "bad_determinism.ml")
 
 let test_parse_error () =
   let fs = Lint.Engine.lint_source ~path:"lib/fake/broken.ml" "let let let" in

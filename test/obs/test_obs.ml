@@ -2,6 +2,7 @@ open Simcore
 
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
 
 (* Naive substring search; fine at test sizes. *)
 module Astring_contains = struct
@@ -440,6 +441,71 @@ let prop_json_pretty_equiv =
       Json_parse.parse (Obs.Json.to_string j)
       = Json_parse.parse (Obs.Json.to_string ~pretty:true j))
 
+(* ---- Obs.Json.of_string (the library's own parser) ---- *)
+
+let test_json_of_string_values () =
+  let ok s = match Obs.Json.of_string s with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%S should parse: %s" s e
+  in
+  check_bool "null" true (ok "null" = Obs.Json.Null);
+  check_bool "bools" true
+    (ok " true " = Obs.Json.Bool true && ok "false" = Obs.Json.Bool false);
+  check_bool "int stays Int" true (ok "-42" = Obs.Json.Int (-42));
+  check_bool "dotted number becomes Float" true
+    (ok "1.0" = Obs.Json.Float 1.0);
+  check_bool "exponent becomes Float" true
+    (ok "5e3" = Obs.Json.Float 5000.);
+  check_bool "escapes decode" true
+    (ok {|"a\n\t\"\\b"|} = Obs.Json.String "a\n\t\"\\b");
+  check_bool "control-char \\u escape decodes" true
+    (ok {|"\u0007"|} = Obs.Json.String "\007");
+  check_bool "nested structure" true
+    (ok {|{"k": [1, {"x": null}], "s": ""}|}
+    = Obs.Json.Obj
+        [
+          ("k", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj [ ("x", Obs.Json.Null) ] ]);
+          ("s", Obs.Json.String "");
+        ])
+
+let test_json_of_string_errors () =
+  let bad s = match Obs.Json.of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error e -> e
+  in
+  ignore (bad "" : string);
+  ignore (bad "tru" : string);
+  ignore (bad "[1," : string);
+  ignore (bad {|{"a" 1}|} : string);
+  ignore (bad {|"\q"|} : string);
+  ignore (bad {|"\uBEEF"|} : string);
+  ignore (bad {|"unterminated|} : string);
+  (* trailing garbage is an error, and the offset points at it *)
+  check_bool "trailing input rejected with offset" true
+    (let e = bad "1 x" in
+     String.length e > 0
+     &&
+     match String.index_opt e '2' with
+     | Some _ -> true (* "at byte 2" *)
+     | None -> false)
+
+(* print . parse . print = print: re-rendering a parsed document reproduces
+   the original bytes, compact and pretty alike.  (parse . print is not the
+   identity on floats beyond 9 significant digits — the printer's documented
+   precision — but the re-rendered bytes are still stable.) *)
+let prop_json_of_string_roundtrip =
+  QCheck.Test.make ~name:"of_string round-trips to_string output" ~count:300
+    (QCheck.make ~print:(fun j -> Obs.Json.to_string ~pretty:true j) json_gen)
+    (fun j ->
+      let compact = Obs.Json.to_string j in
+      let pretty = Obs.Json.to_string ~pretty:true j in
+      match (Obs.Json.of_string compact, Obs.Json.of_string pretty) with
+      | Ok a, Ok b ->
+        Obs.Json.to_string a = compact
+        && Obs.Json.to_string ~pretty:true b = pretty
+        && a = b
+      | _ -> false)
+
 (* ---- series ---- *)
 
 let test_series_counter_rate () =
@@ -706,6 +772,11 @@ let () =
           QCheck_alcotest.to_alcotest prop_json_escape_valid;
           QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
           QCheck_alcotest.to_alcotest prop_json_pretty_equiv;
+          Alcotest.test_case "of_string values" `Quick
+            test_json_of_string_values;
+          Alcotest.test_case "of_string errors" `Quick
+            test_json_of_string_errors;
+          QCheck_alcotest.to_alcotest prop_json_of_string_roundtrip;
         ] );
       ( "series",
         [

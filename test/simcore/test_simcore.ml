@@ -146,6 +146,33 @@ let test_sim_nested_schedule () =
   Sim.run sim;
   Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
 
+let test_sim_stats_counters () =
+  let sim = Sim.create () in
+  let st = Sim.stats sim in
+  Alcotest.(check int) "fresh sim: nothing processed" 0 st.Sim.processed;
+  Alcotest.(check int) "fresh sim: empty heap" 0 st.Sim.max_heap_depth;
+  for i = 1 to 4 do
+    ignore (Sim.schedule sim ~delay:(Time_ns.ms i) (fun () -> ()) : Sim.event_id)
+  done;
+  let st = Sim.stats sim in
+  Alcotest.(check int) "pending counts queued events" 4 st.Sim.pending;
+  Alcotest.(check int) "high-water mark tracks the queue" 4 st.Sim.max_heap_depth;
+  ignore (Sim.step sim : bool);
+  Sim.run sim;
+  let st = Sim.stats sim in
+  Alcotest.(check int) "all events processed" 4 st.Sim.processed;
+  Alcotest.(check int) "queue drained" 0 st.Sim.pending;
+  Alcotest.(check int) "high-water mark survives the drain" 4 st.Sim.max_heap_depth;
+  (* Cancelled events still occupied the heap, so they raise the mark but
+     never count as processed. *)
+  let sim2 = Sim.create () in
+  let id = Sim.schedule sim2 ~delay:(Time_ns.ms 1) (fun () -> ()) in
+  Sim.cancel sim2 id;
+  Sim.run sim2;
+  let st2 = Sim.stats sim2 in
+  Alcotest.(check int) "cancelled events are not processed" 0 st2.Sim.processed;
+  Alcotest.(check int) "but they did enter the heap" 1 st2.Sim.max_heap_depth
+
 (* ---- Distribution ---- *)
 
 let test_distribution_constant () =
@@ -344,6 +371,7 @@ let () =
           Alcotest.test_case "run_until" `Quick test_sim_run_until;
           Alcotest.test_case "every" `Quick test_sim_every;
           Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "dispatch stats" `Quick test_sim_stats_counters;
         ] );
       ( "distribution",
         [
