@@ -452,6 +452,272 @@ let perf_cmd =
           with a regression threshold")
     [ perf_list_cmd; perf_diff_cmd ]
 
+(* ---- vopr: table-driven fault scenarios, seed swarm, repro ---- *)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> src
+  | exception Sys_error e ->
+    Printf.eprintf "vopr: cannot read %s: %s\n" path e;
+    exit 2
+
+let write_file path contents =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
+let parse_scenario path =
+  match Vopr.Scenario.of_string (read_file path) with
+  | Ok sc -> sc
+  | Error e ->
+    Printf.eprintf "vopr: %s: %s\n" path e;
+    exit 2
+
+let load_scenario ~name ~file ~nemesis ~seed =
+  match (name, file, nemesis) with
+  | Some name, None, false -> (
+    match Vopr.Curated.find name with
+    | Some sc -> sc
+    | None ->
+      Printf.eprintf "vopr: unknown scenario %S (try 'vopr list')\n" name;
+      exit 2)
+  | None, Some path, false -> parse_scenario path
+  | None, None, true -> Vopr.Swarm.generate ~seed
+  | None, None, false ->
+    Printf.eprintf "vopr: one of --scenario, --file or --nemesis is required\n";
+    exit 2
+  | _ ->
+    Printf.eprintf "vopr: --scenario, --file and --nemesis are exclusive\n";
+    exit 2
+
+let print_violations (o : Vopr.Runner.outcome) =
+  List.iter
+    (fun (v : Vopr.Checker.violation) ->
+      Printf.printf "  VIOLATION [%s] at %s: %s\n" v.checker
+        (Simcore.Time_ns.to_string v.at)
+        v.detail)
+    o.violations;
+  if o.total_violations > List.length o.violations then
+    Printf.printf "  ... and %d more occurrence(s)\n"
+      (o.total_violations - List.length o.violations)
+
+let run_vopr_list () =
+  List.iter
+    (fun (sc : Vopr.Scenario.t) ->
+      Printf.printf "%-32s %d step(s), %d pg(s), %d replica(s)\n" sc.name
+        (List.length sc.steps) sc.n_pgs sc.replicas)
+    Vopr.Curated.all
+
+let run_vopr_show name =
+  match Vopr.Curated.find name with
+  | Some sc -> print_string (Vopr.Scenario.to_string sc)
+  | None ->
+    Printf.eprintf "vopr: unknown scenario %S (try 'vopr list')\n" name;
+    exit 2
+
+let run_vopr_run name file nemesis seed =
+  let sc = load_scenario ~name ~file ~nemesis ~seed in
+  let o = Vopr.Runner.run ~seed sc in
+  print_endline (Vopr.Runner.digest o);
+  if Vopr.Runner.failed o then begin
+    print_violations o;
+    exit 1
+  end
+
+let run_vopr_repro file seed =
+  (* Nothing but the digest on stdout: two repro invocations of the same
+     (file, seed) must compare byte-for-byte. *)
+  let sc = parse_scenario file in
+  let o = Vopr.Runner.run ~seed sc in
+  print_endline (Vopr.Runner.digest o);
+  if Vopr.Runner.failed o then exit 1
+
+let report_swarm_failures (failures : Vopr.Swarm.failure list) =
+  List.iter
+    (fun (f : Vopr.Swarm.failure) ->
+      let path = Printf.sprintf "vopr-repro-%s-seed%d.scn" f.shrunk.name f.seed in
+      write_file path (Vopr.Scenario.to_string f.shrunk);
+      Printf.printf
+        "FAIL seed=%d scenario=%s: %d violation(s), shrunk %d -> %d step(s)\n"
+        f.seed f.scenario.name f.outcome.total_violations
+        (List.length f.scenario.steps)
+        (List.length f.shrunk.steps);
+      print_violations f.outcome;
+      Printf.printf "  wrote %s\n  repro: aurora_cli vopr repro --file %s --seed %d\n"
+        path path f.seed)
+    failures
+
+let run_vopr_swarm seeds seed0 nemesis quiet =
+  let cfg =
+    {
+      Vopr.Swarm.seeds;
+      first_seed = seed0;
+      scenarios = Vopr.Curated.all;
+      nemesis;
+    }
+  in
+  let progress ~done_ ~total =
+    if (not quiet) && (done_ mod 50 = 0 || done_ = total) then
+      Printf.printf "  %d/%d runs\n%!" done_ total
+  in
+  let r = Vopr.Swarm.run ~progress cfg in
+  report_swarm_failures r.failures;
+  Printf.printf "swarm: %d run(s) over %d curated scenario(s)%s, %d failure(s)\n"
+    r.runs
+    (List.length Vopr.Curated.all)
+    (if nemesis then " + nemesis schedules" else "")
+    (List.length r.failures);
+  if r.failures <> [] then exit 1
+
+let run_vopr_smoke () =
+  let failures = ref 0 in
+  let quick =
+    [ "membership-dance"; "writer-crash-recovery"; "az-outage-az-plus-one" ]
+  in
+  List.iter
+    (fun name ->
+      match Vopr.Curated.find name with
+      | None -> assert false
+      | Some sc ->
+        let o = Vopr.Runner.run ~seed:1 sc in
+        Printf.printf "%-32s %s\n%!" sc.name
+          (if Vopr.Runner.failed o then "FAIL" else "ok");
+        if Vopr.Runner.failed o then begin
+          print_violations o;
+          incr failures
+        end)
+    quick;
+  (* Determinism guard: the same (scenario, seed) must produce the same
+     digest bytes. *)
+  (match Vopr.Curated.find "membership-dance" with
+  | None -> assert false
+  | Some sc ->
+    let d1 = Vopr.Runner.digest (Vopr.Runner.run ~seed:3 sc) in
+    let d2 = Vopr.Runner.digest (Vopr.Runner.run ~seed:3 sc) in
+    if not (String.equal d1 d2) then begin
+      Printf.printf "FAIL: digest not deterministic for membership-dance seed 3\n";
+      incr failures
+    end);
+  let r =
+    Vopr.Swarm.run
+      {
+        Vopr.Swarm.seeds = 25;
+        first_seed = 1;
+        scenarios = Vopr.Curated.all;
+        nemesis = true;
+      }
+  in
+  report_swarm_failures r.failures;
+  failures := !failures + List.length r.failures;
+  Printf.printf "vopr smoke: %d scenario run(s) + %d swarm run(s), %d failure(s)\n"
+    (List.length quick + 2) r.runs !failures;
+  if !failures > 0 then exit 1
+
+let vopr_scenario_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"NAME" ~doc:"A curated scenario name.")
+
+let vopr_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "file" ] ~docv:"FILE" ~doc:"A scenario file (vopr text format).")
+
+let vopr_nemesis_flag =
+  Arg.(
+    value & flag
+    & info [ "nemesis" ]
+        ~doc:"Run the generated nemesis schedule for $(b,--seed).")
+
+let vopr_list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the curated scenarios")
+    Term.(const run_vopr_list $ const ())
+
+let vopr_show_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Curated scenario name.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a curated scenario in the text format")
+    Term.(const run_vopr_show $ name_arg)
+
+let vopr_run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run one scenario at one seed under the full checker set; exits 1 \
+          on any violation")
+    Term.(
+      const run_vopr_run $ vopr_scenario_arg $ vopr_file_arg
+      $ vopr_nemesis_flag $ seed_arg)
+
+let vopr_repro_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE" ~doc:"Scenario file to replay.")
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:
+         "Replay a (scenario file, seed) pair and print only the outcome \
+          digest — byte-identical across replays")
+    Term.(const run_vopr_repro $ file_arg $ seed_arg)
+
+let vopr_swarm_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep.")
+  in
+  let seed0_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed0" ] ~docv:"SEED" ~doc:"First seed of the sweep.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.")
+  in
+  Cmd.v
+    (Cmd.info "swarm"
+       ~doc:
+         "Sweep the curated scenarios (and, with $(b,--nemesis), generated \
+          schedules) across seeds; failures are shrunk to a minimal step \
+          list and written as repro files")
+    Term.(
+      const run_vopr_swarm $ seeds_arg $ seed0_arg $ vopr_nemesis_flag
+      $ quiet_arg)
+
+let vopr_smoke_cmd =
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:
+         "Quick gate: three curated scenarios, a digest-determinism check, \
+          and a 25-seed mini-swarm with nemesis schedules")
+    Term.(const run_vopr_smoke $ const ())
+
+let vopr_cmd =
+  let default = Term.(const run_vopr_list $ const ()) in
+  Cmd.group ~default
+    (Cmd.info "vopr"
+       ~doc:
+         "Table-driven fault scenarios with semantic invariant checkers: \
+          run curated tables, sweep seeds, shrink and replay failures \
+          (DESIGN.md \xc2\xa77)")
+    [
+      vopr_list_cmd;
+      vopr_show_cmd;
+      vopr_run_cmd;
+      vopr_repro_cmd;
+      vopr_swarm_cmd;
+      vopr_smoke_cmd;
+    ]
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -465,4 +731,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ exp_cmd; smoke_cmd; obs_cmd; trace_export_cmd; bench_cmd; perf_cmd ]))
+          [
+            exp_cmd;
+            smoke_cmd;
+            obs_cmd;
+            trace_export_cmd;
+            bench_cmd;
+            perf_cmd;
+            vopr_cmd;
+          ]))

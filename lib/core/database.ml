@@ -747,6 +747,13 @@ let rebuild_from_outcome t (o : Recovery.outcome) =
   t.last_commit_shipped <- o.vdl
 
 let recover t on_ready =
+  (* Recovery must never run against a serving instance: the §2.4 walk
+     computes VCL from a point-in-time storage poll and then truncates the
+     ragged edge above it, so commits acknowledged while the poll is in
+     flight would be annulled — acknowledged-write loss.  An open instance
+     is fenced (crashed) first, exactly as a new writer's epoch bump boxes
+     out the old one. *)
+  if t.open_ then crash t;
   t.generation <- t.generation + 1;
   Simnet.Net.register t.net t.addr (handle_message t);
   Simnet.Net.set_up t.net t.addr;

@@ -141,7 +141,9 @@ val recover : t -> ((Recovery.outcome, string) result -> unit) -> unit
 (** §2.4: bump the volume epoch, re-derive VCL/VDL from storage SCLs,
     truncate the ragged edge, rebuild local state, and reopen.  Works both
     after {!crash} on the same instance and on a fresh instance attached to
-    an existing volume (replica promotion). *)
+    an existing volume (replica promotion).  A still-open instance is
+    fenced ({!crash}) first: recovery truncates above its point-in-time
+    VCL poll, so commits acked during the poll would otherwise be lost. *)
 
 (* ---- membership changes (§4.1), exercised by the harness ---- *)
 

@@ -413,6 +413,40 @@ let slow_storage_node t pg member factor =
     Simnet.Net.set_node_slowdown t.net (Storage.Storage_node.addr node) factor
   | None -> ()
 
+(* ---- partitions (the one nemesis the node up/down faults can't model:
+   everyone stays alive, but message flow between two address sets stops) ---- *)
+
+let addr_set l = List.fold_left (fun s a -> Simnet.Addr.Set.add a s)
+    Simnet.Addr.Set.empty l
+
+let partition t side_a side_b =
+  Simnet.Net.partition t.net (addr_set side_a) (addr_set side_b)
+
+let heal t side_a side_b =
+  Simnet.Net.heal_partition t.net (addr_set side_a) (addr_set side_b)
+
+(* All process addresses the cluster knows about (writer, storage nodes,
+   replicas), sorted so set construction is independent of hash order. *)
+let known_addrs t =
+  Simnet.Addr.Tbl.fold (fun addr _ acc -> addr :: acc) t.az_of []
+  |> List.sort Simnet.Addr.compare
+
+let az_split t az =
+  List.partition
+    (fun addr ->
+      match Simnet.Addr.Tbl.find_opt t.az_of addr with
+      | Some z -> Az.equal z az
+      | None -> false)
+    (known_addrs t)
+
+let partition_az t az =
+  let inside, outside = az_split t az in
+  partition t inside outside
+
+let heal_az t az =
+  let inside, outside = az_split t az in
+  heal t inside outside
+
 (* ---- membership changes (Figure 5 flow) ---- *)
 
 let start_replacement t pg ~suspect =

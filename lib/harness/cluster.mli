@@ -93,6 +93,20 @@ val restore_az : t -> Az.t -> unit
 val slow_storage_node : t -> Storage.Pg_id.t -> Member_id.t -> float -> unit
 (** Multiply the node's network latency (busy / degraded node, §3.1). *)
 
+val partition : t -> Simnet.Addr.t list -> Simnet.Addr.t list -> unit
+(** Sever every link between the two address sets (both directions).  All
+    processes stay alive — the one nemesis node up/down faults cannot
+    model.  Drops on severed links count in
+    {!Simnet.Net.stats.dropped_partition}. *)
+
+val heal : t -> Simnet.Addr.t list -> Simnet.Addr.t list -> unit
+
+val partition_az : t -> Az.t -> unit
+(** Isolate every process in an AZ (storage nodes, plus the writer or any
+    replica placed there) from the rest of the cluster. *)
+
+val heal_az : t -> Az.t -> unit
+
 (* ---- membership-change orchestration (Figure 5) ---- *)
 
 val start_replacement :

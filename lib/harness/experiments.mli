@@ -5,6 +5,19 @@
 
 open Quorum
 
+val audit_durability :
+  sim:Simcore.Sim.t ->
+  get:
+    (key:string ->
+    ((string option, string) result -> unit) ->
+    unit) ->
+  gen:Workload.Txn_gen.t ->
+  int * int
+(** Shared durability oracle, [(keys_checked, keys_lost)]: for every key the
+    visible value must be its last {e acknowledged} write in LSN order, or
+    any in-doubt write issued after it.  Runs the sim up to 10 s to drain
+    the issued reads. *)
+
 (** E1 — Figure 1: quorum availability under independent segment failures
     and correlated AZ outages, for the 2/3 strawman, Aurora's 4/6, and the
     tiered §4.2 design. *)

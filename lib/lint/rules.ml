@@ -18,9 +18,12 @@ let sim_code path =
 
 (* Modules whose hash-table iteration order can leak into JSON / trace /
    time-series output.  lib/obs is the whole observability layer; report and
-   trace render experiment output directly. *)
+   trace render experiment output directly; lib/vopr renders violation
+   lists and repro digests whose byte-identity across reruns is the whole
+   point. *)
 let output_feeding path =
   under "lib/obs" path
+  || under "lib/vopr" path
   || path = "lib/harness/report.ml"
   || path = "lib/simcore/trace.ml"
 

@@ -143,19 +143,59 @@ let of_string s =
       | Some 'f' -> Buffer.add_char buf '\012'; advance ()
       | Some 'u' ->
         advance ();
-        if !pos + 4 > n then fail "truncated \\u escape";
-        let code =
-          (hex_digit s.[!pos] lsl 12)
-          lor (hex_digit s.[!pos + 1] lsl 8)
-          lor (hex_digit s.[!pos + 2] lsl 4)
-          lor hex_digit s.[!pos + 3]
+        let unit4 () =
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code =
+            (hex_digit s.[!pos] lsl 12)
+            lor (hex_digit s.[!pos + 1] lsl 8)
+            lor (hex_digit s.[!pos + 2] lsl 4)
+            lor hex_digit s.[!pos + 3]
+          in
+          pos := !pos + 4;
+          code
         in
-        pos := !pos + 4;
-        (* The printer only emits \u00xx for control characters; decode the
-           Latin-1 range as bytes and refuse anything wider rather than
-           mis-encode it. *)
-        if code < 0x100 then Buffer.add_char buf (Char.chr code)
-        else fail "\\u escape beyond latin-1 is not supported"
+        let code = unit4 () in
+        (* Full \uXXXX decoding to UTF-8 bytes, surrogate pairs included —
+           scenario files and external tools hand us escapes the printer
+           itself never emits (it only writes \u00xx for controls). *)
+        let scalar =
+          if code >= 0xD800 && code <= 0xDBFF then begin
+            (* High surrogate: a low surrogate escape must follow. *)
+            if
+              not
+                (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+            then fail "high surrogate not followed by \\u low surrogate"
+            else begin
+              pos := !pos + 2;
+              let low = unit4 () in
+              if low < 0xDC00 || low > 0xDFFF then
+                fail "high surrogate not followed by a low surrogate"
+              else
+                0x10000
+                + ((code - 0xD800) lsl 10)
+                + (low - 0xDC00)
+            end
+          end
+          else if code >= 0xDC00 && code <= 0xDFFF then
+            fail "unpaired low surrogate"
+          else code
+        in
+        if scalar < 0x80 then Buffer.add_char buf (Char.chr scalar)
+        else if scalar < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (scalar lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (scalar land 0x3F)))
+        end
+        else if scalar < 0x10000 then begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (scalar lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((scalar lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (scalar land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (scalar lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((scalar lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((scalar lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (scalar land 0x3F)))
+        end
       | Some c -> fail (Printf.sprintf "bad escape \\%C" c)
       | None -> fail "unterminated escape"
     in
@@ -199,7 +239,13 @@ let of_string s =
       | Some i -> Int i
       | None -> fail (Printf.sprintf "bad number %S" text)
   in
-  let rec parse_value () =
+  (* Nesting is bounded so adversarial input ([[[[…) degrades into a clean
+     parse error instead of exhausting the OCaml stack.  512 levels is far
+     beyond anything the observability layer or a vopr scenario emits. *)
+  let max_depth = 512 in
+  let rec parse_value depth =
+    if depth > max_depth then
+      fail (Printf.sprintf "nesting deeper than %d levels" max_depth);
     skip_ws ();
     match peek () with
     | None -> fail "expected a value, found end of input"
@@ -216,11 +262,11 @@ let of_string s =
         List []
       end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         skip_ws ();
         while peek () = Some ',' do
           advance ();
-          items := parse_value () :: !items;
+          items := parse_value (depth + 1) :: !items;
           skip_ws ()
         done;
         expect ']';
@@ -239,7 +285,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           (k, v)
         in
         let fields = ref [ field () ] in
@@ -255,7 +301,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing input after the value";
     v

@@ -26,5 +26,8 @@ val of_string : string -> (t, string) result
 (** Parse one JSON value (surrounding whitespace allowed; trailing input is
     an error).  Covers what {!to_string} produces — in particular a number
     with a ['.'], ['e'] or ['E'] parses as [Float] and anything else as
-    [Int], so printing and re-parsing a tree is the identity.  Errors carry
-    a byte offset. *)
+    [Int], so printing and re-parsing a tree is the identity.  Beyond the
+    printer's dialect it decodes any [\uXXXX] escape (surrogate pairs
+    included) to UTF-8 bytes; unpaired surrogates are an error.  Nesting is
+    capped at 512 levels so hostile input fails cleanly instead of
+    overflowing the stack.  Errors carry a byte offset. *)

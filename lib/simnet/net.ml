@@ -11,13 +11,21 @@ type 'msg envelope = {
 type stats = {
   sent : int;
   delivered : int;
-  dropped : int; (* always = dropped_down + dropped_blocked + dropped_random *)
+  dropped : int;
+      (* always = dropped_down + dropped_blocked + dropped_partition
+                  + dropped_random *)
   dropped_down : int;
   dropped_blocked : int;
+  dropped_partition : int;
   dropped_random : int;
   bytes_sent : int;
   bytes_delivered : int;
 }
+
+(* Why a link is severed: a targeted [block] or a set-level [partition].
+   The split feeds the cause-separated drop counters so a vopr scenario can
+   distinguish partition loss from pinpoint blocks. *)
+type block_kind = Direct | Part
 
 type 'msg t = {
   sim : Sim.t;
@@ -30,7 +38,7 @@ type 'msg t = {
   mutable global_drop : float;
   slowdown : float Addr.Tbl.t;
   down : unit Addr.Tbl.t;
-  blocked : (int * int, unit) Hashtbl.t;
+  blocked : (int * int, block_kind) Hashtbl.t;
   mutable st : stats;
 }
 
@@ -41,6 +49,7 @@ let zero_stats =
     dropped = 0;
     dropped_down = 0;
     dropped_blocked = 0;
+    dropped_partition = 0;
     dropped_random = 0;
     bytes_sent = 0;
     bytes_delivered = 0;
@@ -73,6 +82,7 @@ let create ~sim ~rng ~default_latency ?obs () =
     c "net_dropped" (fun () -> t.st.dropped);
     c "net_dropped_down" (fun () -> t.st.dropped_down);
     c "net_dropped_blocked" (fun () -> t.st.dropped_blocked);
+    c "net_dropped_partition" (fun () -> t.st.dropped_partition);
     c "net_dropped_random" (fun () -> t.st.dropped_random);
     c "net_bytes_sent" (fun () -> t.st.bytes_sent);
     c "net_bytes_delivered" (fun () -> t.st.bytes_delivered));
@@ -97,21 +107,23 @@ let set_node_slowdown t addr factor =
 let set_down t addr = Addr.Tbl.replace t.down addr ()
 let set_up t addr = Addr.Tbl.remove t.down addr
 let is_down t addr = Addr.Tbl.mem t.down addr
-let block t a b =
-  Hashtbl.replace t.blocked (key a b) ();
-  Hashtbl.replace t.blocked (key b a) ()
+let block_as t kind a b =
+  Hashtbl.replace t.blocked (key a b) kind;
+  Hashtbl.replace t.blocked (key b a) kind
+
+let block t a b = block_as t Direct a b
 
 let unblock t a b =
   Hashtbl.remove t.blocked (key a b);
   Hashtbl.remove t.blocked (key b a)
 
 let partition t sa sb =
-  Addr.Set.iter (fun a -> Addr.Set.iter (fun b -> block t a b) sb) sa
+  Addr.Set.iter (fun a -> Addr.Set.iter (fun b -> block_as t Part a b) sb) sa
 
 let heal_partition t sa sb =
   Addr.Set.iter (fun a -> Addr.Set.iter (fun b -> unblock t a b) sb) sa
 
-let is_blocked t a b = Hashtbl.mem t.blocked (key a b)
+let blocked_kind t a b = Hashtbl.find_opt t.blocked (key a b)
 
 let latency_for t ~src ~dst =
   match Hashtbl.find_opt t.link_latency (key src dst) with
@@ -132,7 +144,7 @@ let slow_factor t addr =
 let stats t = t.st
 let reset_stats t = t.st <- zero_stats
 
-type drop_cause = Down | Blocked | Random
+type drop_cause = Down | Blocked | Partitioned | Random
 
 let note_drop t cause =
   let st = t.st in
@@ -141,8 +153,20 @@ let note_drop t cause =
     | Down -> { st with dropped = st.dropped + 1; dropped_down = st.dropped_down + 1 }
     | Blocked ->
       { st with dropped = st.dropped + 1; dropped_blocked = st.dropped_blocked + 1 }
+    | Partitioned ->
+      {
+        st with
+        dropped = st.dropped + 1;
+        dropped_partition = st.dropped_partition + 1;
+      }
     | Random ->
       { st with dropped = st.dropped + 1; dropped_random = st.dropped_random + 1 })
+
+let sever_cause t a b =
+  match blocked_kind t a b with
+  | Some Direct -> Some Blocked
+  | Some Part -> Some Partitioned
+  | None -> None
 
 let send t ~src ~dst ?(bytes = 64) msg =
   t.st <- { t.st with sent = t.st.sent + 1; bytes_sent = t.st.bytes_sent + bytes };
@@ -150,37 +174,43 @@ let send t ~src ~dst ?(bytes = 64) msg =
      happens only when neither endpoint fault applies, keeping the RNG
      stream (and thus every seeded run) identical. *)
   if is_down t src then note_drop t Down
-  else if is_blocked t src dst then note_drop t Blocked
-  else if Rng.bernoulli t.rng (drop_probability t ~src ~dst) then
-    note_drop t Random
-  else begin
-    let base = Distribution.sample (latency_for t ~src ~dst) t.rng in
-    let factor = slow_factor t src *. slow_factor t dst in
-    let delay =
-      if factor = 1.0 then base
-      else int_of_float (factor *. float_of_int base)
-    in
-    let env = { src; dst; sent_at = Sim.now t.sim; bytes; msg } in
-    ignore
-      (Sim.schedule t.sim ~delay (fun () ->
-           (* Down / blocked state is re-checked at delivery: a node that
-              crashed while the message was in flight never sees it.  An
-              unregistered destination counts as down. *)
-           if is_down t dst then note_drop t Down
-           else if is_blocked t src dst then note_drop t Blocked
-           else
-             match Addr.Tbl.find_opt t.handlers dst with
-             | None -> note_drop t Down
-             | Some handler ->
-               t.st <-
-                 {
-                   t.st with
-                   delivered = t.st.delivered + 1;
-                   bytes_delivered = t.st.bytes_delivered + bytes;
-                 };
-               (* Perf span around the handler only — latency modelling and
-                  drop bookkeeping above are scheduling, not delivery work. *)
-               Perf.Probe.start Perf.Probe.Net_delivery;
-               handler env;
-               Perf.Probe.stop Perf.Probe.Net_delivery))
-  end
+  else
+    match sever_cause t src dst with
+    | Some cause -> note_drop t cause
+    | None ->
+      if Rng.bernoulli t.rng (drop_probability t ~src ~dst) then
+        note_drop t Random
+      else begin
+        let base = Distribution.sample (latency_for t ~src ~dst) t.rng in
+        let factor = slow_factor t src *. slow_factor t dst in
+        let delay =
+          if factor = 1.0 then base
+          else int_of_float (factor *. float_of_int base)
+        in
+        let env = { src; dst; sent_at = Sim.now t.sim; bytes; msg } in
+        ignore
+          (Sim.schedule t.sim ~delay (fun () ->
+               (* Down / blocked state is re-checked at delivery: a node that
+                  crashed while the message was in flight never sees it.  An
+                  unregistered destination counts as down. *)
+               if is_down t dst then note_drop t Down
+               else
+                 match sever_cause t src dst with
+                 | Some cause -> note_drop t cause
+                 | None -> (
+                   match Addr.Tbl.find_opt t.handlers dst with
+                   | None -> note_drop t Down
+                   | Some handler ->
+                     t.st <-
+                       {
+                         t.st with
+                         delivered = t.st.delivered + 1;
+                         bytes_delivered = t.st.bytes_delivered + bytes;
+                       };
+                     (* Perf span around the handler only — latency modelling
+                        and drop bookkeeping above are scheduling, not
+                        delivery work. *)
+                     Perf.Probe.start Perf.Probe.Net_delivery;
+                     handler env;
+                     Perf.Probe.stop Perf.Probe.Net_delivery)))
+      end

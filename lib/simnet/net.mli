@@ -28,11 +28,15 @@ type 'msg envelope = {
 type stats = {
   sent : int;
   delivered : int;
-  dropped : int;  (** Sum of the three cause-split counters below. *)
+  dropped : int;  (** Sum of the four cause-split counters below. *)
   dropped_down : int;
       (** Endpoint down at send or delivery (an unregistered destination
           counts as down). *)
-  dropped_blocked : int;  (** Link severed by a partition/block. *)
+  dropped_blocked : int;  (** Link severed by a targeted {!block}. *)
+  dropped_partition : int;
+      (** Link severed by a set-level {!partition} — split from
+          [dropped_blocked] so fault scenarios can attribute loss to the
+          partition nemesis rather than pinpoint blocks. *)
   dropped_random : int;  (** Stochastic loss (global or per-link). *)
   bytes_sent : int;
   bytes_delivered : int;
@@ -82,12 +86,15 @@ val set_up : 'msg t -> Addr.t -> unit
 val is_down : 'msg t -> Addr.t -> bool
 
 val block : 'msg t -> Addr.t -> Addr.t -> unit
-(** Sever both directions between two addresses. *)
+(** Sever both directions between two addresses.  Drops on the link count
+    as [dropped_blocked]. *)
 
 val unblock : 'msg t -> Addr.t -> Addr.t -> unit
 
 val partition : 'msg t -> Addr.Set.t -> Addr.Set.t -> unit
-(** Block every pair across the two sets. *)
+(** Block every pair across the two sets.  Drops on these links count as
+    [dropped_partition].  A pair both [block]ed and [partition]ed carries
+    the cause applied last. *)
 
 val heal_partition : 'msg t -> Addr.Set.t -> Addr.Set.t -> unit
 

@@ -204,8 +204,22 @@ let hydrate_import t ~records ~blocks ~donor_scl ~coalesced =
   in
   if Lsn.(anchor > scl t) then t.hot_log <- Hot_log.create_anchored anchor;
   ignore (insert_records t records : Lsn.t);
-  List.iter (fun (block, snapshot) -> Block_store.load_snapshot t.store block snapshot) blocks;
-  if Lsn.(coalesced > t.coalesced) then t.coalesced <- coalesced;
+  (* A donor's block snapshots are authoritative only up to the donor's
+     coalesce point.  Once this segment has materialized past that point —
+     e.g. a replacement that anchored off an earlier pull and has been
+     applying the live write stream since — installing them would roll
+     every block back to the donor's staler image while our own coalesce
+     watermark stays high, so the overwritten versions would never be
+     re-applied from the hot log: silent loss of acknowledged writes.
+     Stale snapshots are therefore discarded; a scrub repair that hits
+     this guard keeps its corruption for the next round instead of
+     trading it for data loss. *)
+  if blocks <> [] && Lsn.(coalesced > t.coalesced) then begin
+    List.iter
+      (fun (block, snapshot) -> Block_store.load_snapshot t.store block snapshot)
+      blocks;
+    t.coalesced <- coalesced
+  end;
   (match t.kind with
   | Membership.Full -> ignore (coalesce t : int)
   | Membership.Tail -> ())

@@ -1,0 +1,134 @@
+open Scenario
+
+(* Timings leave generous settle room: horizon-extending assertion steps
+   sit well past the last fault so hydration / recovery / restored nodes
+   have caught up, keeping the tables seed-robust. *)
+
+let membership_dance =
+  make ~name:"membership-dance" ~rate:2000. ~duration_ms:1500
+    [
+      step (at_ms 300)
+        (Start_replacement (0, 5))
+        ~expect:[ Epoch_at_least (0, 2); Write_available true ];
+      (* I/O must keep flowing while the dual-quorum epoch is in force. *)
+      step (at_ms 340) Noop ~expect:[ Commits_progressing ];
+      step (at_ms 400) (Finish_when_caught_up (0, 5));
+      step (at_ms 2500) Noop
+        ~expect:
+          [ Epoch_at_least (0, 3); Write_available true; Az_plus_one true ];
+    ]
+
+let membership_revert =
+  make ~name:"membership-revert" ~rate:2000. ~duration_ms:1500
+    [
+      (* A gray node draws suspicion; it recovers before the change
+         commits, so the change rolls back (Figure 5 revert edge). *)
+      step (at_ms 300) (Slow_node (0, 4, 30.));
+      step (at_ms 400)
+        (Start_replacement (0, 4))
+        ~expect:[ Epoch_at_least (0, 2) ];
+      step (at_ms 700) (Slow_node (0, 4, 1.));
+      step (at_ms 800)
+        (Revert_replacement (0, 4))
+        ~expect:[ Epoch_at_least (0, 3) ];
+      step (at_ms 2300) Noop
+        ~expect:[ Write_available true; Commits_progressing ];
+    ]
+
+let az_outage =
+  make ~name:"az-outage-az-plus-one" ~n_pgs:2 ~replicas:1 ~rate:1500.
+    ~duration_ms:1500
+    [
+      (* Losing a whole AZ leaves 4/6: writes stay available but the AZ+1
+         read target is gone until the AZ returns (§2.1). *)
+      step (at_ms 300) (Fail_az 3)
+        ~expect:[ Write_available true; Az_plus_one false ];
+      step (at_ms 360) Noop ~expect:[ Commits_progressing ];
+      step (at_ms 900) (Restore_az 3);
+      step (at_ms 2400) Noop
+        ~expect:[ Write_available true; Az_plus_one true ];
+    ]
+
+let writer_crash_recovery =
+  make ~name:"writer-crash-recovery" ~rate:2000. ~duration_ms:1500
+    [
+      (* Crash on a volume watermark rather than a clock tick: the ragged
+         edge lands mid-commit wherever LSN 400 falls (§2.4). *)
+      step (at_lsn 400) Crash_writer;
+      step (at_ms 800) Recover_writer;
+      step (at_ms 2300) Noop
+        ~expect:
+          [ Writer_open true; Write_available true; Commits_progressing ];
+    ]
+
+let gray_node_grow =
+  make ~name:"gray-node-grow" ~rate:1500. ~duration_ms:1500
+    [
+      (* A 50x slow node must be masked by the 4/6 quorum (§3.1), and
+         volume growth (§4.1) proceeds under the degradation. *)
+      step (at_ms 300) (Slow_node (0, 2, 50.)) ~expect:[ Write_available true ];
+      step (at_ms 600) Noop ~expect:[ Commits_progressing ];
+      step (at_ms 900) Grow_volume;
+      step (at_ms 1100) (Slow_node (0, 2, 1.));
+      step (at_ms 2300) Noop
+        ~expect:[ Write_available true; Az_plus_one true ];
+    ]
+
+let partition_during_replacement =
+  make ~name:"partition-during-replacement" ~rate:1500. ~duration_ms:1500
+    [
+      step (at_ms 250) (Destroy_node (0, 5));
+      step (at_ms 350)
+        (Start_replacement (0, 5))
+        ~expect:[ Epoch_at_least (0, 2) ];
+      (* Partition an unrelated AZ while the membership epoch is in
+         flight: commits stall (3 reachable of the old roster) but nothing
+         may break; heal, then let the dance finish. *)
+      step (at_ms 450) (Partition_az 2);
+      step (at_ms 600) Noop ~expect:[ Writer_open true ];
+      step (at_ms 750) (Heal_az 2);
+      step (at_ms 800) (Finish_when_caught_up (0, 5));
+      step (at_ms 2600) Noop
+        ~expect:
+          [ Epoch_at_least (0, 3); Write_available true; Commits_progressing ];
+    ]
+
+let scheme_change =
+  make ~name:"scheme-change-3-of-4" ~rate:1500. ~duration_ms:1500
+    [
+      step (at_ms 300) (Fail_az 3) ~expect:[ Write_available true ];
+      (* §4.1: an AZ outage expected to last re-forms the group 3/4 on the
+         surviving AZs, restoring write fault-tolerance. *)
+      step (at_ms 500)
+        (Change_scheme_3_of_4 (0, 3))
+        ~expect:[ Epoch_at_least (0, 2); Write_available true ];
+      step (at_ms 650) Noop ~expect:[ Commits_progressing ];
+      step (at_ms 2300) Noop ~expect:[ Write_available true ];
+    ]
+
+let replica_reads_across_crash =
+  make ~name:"replica-reads-across-crash" ~replicas:2 ~rate:1500.
+    ~duration_ms:1500
+    [
+      (* Two replicas keep serving monotone reads while the writer crashes
+         and recovers; the probe checkers do the asserting. *)
+      step (at_lsn 300) Crash_writer;
+      step (at_ms 700) Recover_writer;
+      step (at_ms 2300) Noop
+        ~expect:[ Writer_open true; Write_available true ];
+    ]
+
+let all =
+  [
+    membership_dance;
+    membership_revert;
+    az_outage;
+    writer_crash_recovery;
+    gray_node_grow;
+    partition_during_replacement;
+    scheme_change;
+    replica_reads_across_crash;
+  ]
+
+let find name = List.find_opt (fun sc -> String.equal sc.name name) all
+let names = List.map (fun sc -> sc.name) all

@@ -1,0 +1,17 @@
+(** The curated scenario tables: the §4 membership dance (commit and revert
+    paths), §2.1 AZ-outage tolerance, §2.4 crash recovery (triggered by an
+    LSN watermark), §3.1 gray nodes plus volume growth, a partition landing
+    mid-replacement, the §4.1 scheme change under an extended AZ outage,
+    and replica reads across a writer crash.
+
+    Every table asserts liveness/health expectations at explicit points and
+    runs under the full {!Checker} invariant set; the swarm sweeps each of
+    them across seeds. *)
+
+val all : Scenario.t list
+(** In documentation order; names are unique. *)
+
+val find : string -> Scenario.t option
+(** Look up by {!Scenario.t.name}. *)
+
+val names : string list

@@ -1,0 +1,44 @@
+(** Execute one {!Scenario} at one seed and collect the verdict.
+
+    A run builds a fresh {!Harness.Cluster} seeded from [seed], starts the
+    scenario's open-loop workload and a {!Checker}, schedules every step
+    ([At] on the sim clock, [At_lsn] via a 1 ms VCL poll), runs to the
+    horizon (workload duration or last timed step, whichever is later) plus
+    the quiesce window, then replays the durability oracle.
+
+    Step expectations are evaluated synchronously after the step's action;
+    a failed expectation is recorded as an ["expectation"] checker
+    violation.  Action {e errors} (unknown member, membership-change
+    precondition failures, a recovery that reports an error) are collected
+    separately in [action_errors]: they never fail a run by themselves —
+    only checker violations do — but they appear in the digest so a repro
+    shows exactly what the scenario did.
+
+    Everything is deterministic: the same scenario at the same seed yields
+    a byte-identical {!digest}. *)
+
+type outcome = {
+  scenario : string;
+  seed : int;
+  violations : Checker.violation list;  (** Detail-capped, in order. *)
+  total_violations : int;
+  action_errors : (int * string) list;  (** 0-based step index, message. *)
+  issued : int;  (** Workload transactions issued. *)
+  acked : int;
+  wl_failed : int;  (** Workload transactions that returned an error. *)
+  commits : int;  (** Writer's committed-transaction counter. *)
+  final_vcl : int;
+  final_vdl : int;
+  write_available : float;
+      (** {!Obs.Health.write_available_fraction} over the whole run. *)
+}
+
+val run : seed:int -> Scenario.t -> outcome
+
+val failed : outcome -> bool
+(** [total_violations > 0]. *)
+
+val digest : outcome -> string
+(** One-line JSON rendering of the outcome — stable field order, no
+    wall-clock inputs — so two runs of the same (scenario, seed) compare
+    byte-for-byte. *)

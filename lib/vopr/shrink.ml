@@ -1,0 +1,45 @@
+let drop_nth steps n = List.filteri (fun i _ -> i <> n) steps
+
+(* The checker ids that make an outcome a failure — the failure's
+   fingerprint.  A candidate deletion only counts as "still failing" if it
+   reproduces one of these: deleting an undo step (a restart, a heal)
+   trivially manufactures *new* expectation failures, which would otherwise
+   hijack the shrink away from the bug being minimized. *)
+let checker_ids (o : Runner.outcome) =
+  List.sort_uniq String.compare
+    (List.map (fun (v : Checker.violation) -> v.Checker.checker) o.violations)
+
+let same_failure ~fingerprint (o : Runner.outcome) =
+  Runner.failed o
+  && List.exists (fun id -> List.mem id fingerprint) (checker_ids o)
+
+let minimize ~run (sc : Scenario.t) =
+  let outcome = run sc in
+  if not (Runner.failed outcome) then None
+  else begin
+    let fingerprint = checker_ids outcome in
+    let best = ref (sc, outcome) in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let current, _ = !best in
+      let n = List.length current.Scenario.steps in
+      (* First single deletion that still fails wins this round; restart
+         the scan from the smaller scenario. *)
+      let rec try_from i =
+        if i < n && not !progress then begin
+          let candidate =
+            { current with Scenario.steps = drop_nth current.Scenario.steps i }
+          in
+          let o = run candidate in
+          if same_failure ~fingerprint o then begin
+            best := (candidate, o);
+            progress := true
+          end
+          else try_from (i + 1)
+        end
+      in
+      if n > 0 then try_from 0
+    done;
+    Some !best
+  end

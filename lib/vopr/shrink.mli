@@ -1,0 +1,18 @@
+(** Greedy scenario minimizer.
+
+    Given a failing (scenario, seed) pair, repeatedly try deleting one step
+    at a time, keeping any deletion after which the run still fails {e with
+    the same failure fingerprint} (at least one checker id from the
+    original outcome — otherwise deleting an undo step would manufacture a
+    fresh availability failure and hijack the minimization), and iterate
+    until no single deletion preserves the failure — a 1-minimal failing
+    step list.  Runs are deterministic, so every candidate is an
+    exact replay; with scenario tables of at most a dozen steps the
+    O(steps^2) rerun cost is trivial next to one simulation. *)
+
+val minimize :
+  run:(Scenario.t -> Runner.outcome) -> Scenario.t -> (Scenario.t * Runner.outcome) option
+(** [minimize ~run sc] is [None] when [run sc] does not fail at all;
+    otherwise [Some (smallest, outcome)] with [outcome] the failing result
+    of the minimized scenario.  [run] is typically
+    [Runner.run ~seed:failing_seed]. *)

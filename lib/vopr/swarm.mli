@@ -1,0 +1,46 @@
+(** Seed-swarm driver: sweep scenarios across many RNG seeds, optionally
+    interleaving randomized nemesis schedules, shrink failures, and report
+    exactly-reproducible repro pairs.
+
+    Seed [s] runs curated scenario [s mod n] (so a 1000-seed sweep covers
+    every table at ~125 distinct seeds each) and, when [nemesis] is set,
+    additionally a schedule generated from [s] by {!generate}.  A failing
+    run is immediately re-run through {!Shrink.minimize} at the same seed;
+    the failure record carries both the original and the 1-minimal table.
+
+    Nemesis schedules are drawn from a safety envelope: faults come in
+    paired do/undo windows that never overlap (crash+restart, AZ
+    fail+restore, slow+unslow, partition+heal, writer crash+recover) and
+    the Figure 5 dances cap permanent segment destruction at two per
+    protection group, so the 4/6-write / 3/6-read scheme always retains a
+    read quorum and every run must end recovered — which the generated
+    final step asserts ([writer_open] and [write_available]). *)
+
+type config = {
+  seeds : int;  (** Number of seeds to sweep. *)
+  first_seed : int;
+  scenarios : Scenario.t list;  (** Typically {!Curated.all}. *)
+  nemesis : bool;  (** Also run one generated schedule per seed. *)
+}
+
+type failure = {
+  seed : int;
+  scenario : Scenario.t;  (** As originally run. *)
+  shrunk : Scenario.t;  (** 1-minimal failing table (same seed). *)
+  outcome : Runner.outcome;  (** Of the shrunk table. *)
+}
+
+type result = {
+  runs : int;
+  failures : failure list;  (** In discovery order. *)
+}
+
+val generate : seed:int -> Scenario.t
+(** The deterministic nemesis schedule for a seed (named
+    ["nemesis-<seed>"]).  Replaying it does not require the generator: the
+    swarm prints the table itself, and [Runner.run ~seed (generate ~seed)]
+    equals running the printed table at that seed. *)
+
+val run : ?progress:(done_:int -> total:int -> unit) -> config -> result
+(** [progress] is called after every completed run (shrink re-runs not
+    counted). *)

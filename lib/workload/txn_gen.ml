@@ -39,9 +39,17 @@ type t = {
   mutable acked : int;
   mutable failed : int;
   mutable acked_writes : acked list;
-  mutable unacked : (Txn_id.t * (string * string) list) list;
-  mutable writes_log : (string * string * Txn_id.t) list; (* newest first *)
-  acked_txns : unit Txn_id.Tbl.t;
+  (* Issue-stamp keyed, NOT Txn_id keyed: a recovered writer re-derives its
+     transaction floor from storage, so the id of a transaction that
+     vanished entirely in a crash (nothing durable) can be reused by a
+     post-recovery transaction.  Keying the audit trail by Txn_id would
+     then retroactively mark the dead pre-crash write as acknowledged and
+     the durability oracle would demand a value that was legitimately
+     lost. *)
+  mutable unacked : (int * (string * string) list) list;
+  mutable writes_log : (string * string * int) list; (* newest first *)
+  acked_issues : (int, unit) Hashtbl.t;
+  mutable next_issue : int;
   mutable value_counter : int;
 }
 
@@ -60,7 +68,8 @@ let create ~sim ~rng ~db ~profile () =
     acked_writes = [];
     unacked = [];
     writes_log = [];
-    acked_txns = Txn_id.Tbl.create 256;
+    acked_issues = Hashtbl.create 256;
+    next_issue = 0;
     value_counter = 0;
   }
 
@@ -74,6 +83,8 @@ let fresh_value t =
 
 let issue_one t ~on_done =
   t.issued <- t.issued + 1;
+  let issue = t.next_issue in
+  t.next_issue <- t.next_issue + 1;
   match Database.begin_txn t.db with
   | exception Failure msg ->
     t.failed <- t.failed + 1;
@@ -87,15 +98,15 @@ let issue_one t ~on_done =
       if (not !committed) && !reads_pending = 0 then begin
         committed := true;
         let keys_written = !writes in
-        if keys_written <> [] then t.unacked <- (txn, keys_written) :: t.unacked;
+        if keys_written <> [] then t.unacked <- (issue, keys_written) :: t.unacked;
         Database.commit t.db ~txn (fun result ->
             match result with
             | Ok () ->
               t.acked <- t.acked + 1;
-              Txn_id.Tbl.replace t.acked_txns txn ();
+              Hashtbl.replace t.acked_issues issue ();
               if keys_written <> [] then begin
                 t.unacked <-
-                  List.filter (fun (x, _) -> not (Txn_id.equal x txn)) t.unacked;
+                  List.filter (fun (x, _) -> x <> issue) t.unacked;
                 t.acked_writes <-
                   { acked_txn = txn; keys_written; acked_at = Sim.now t.sim }
                   :: t.acked_writes
@@ -119,7 +130,7 @@ let issue_one t ~on_done =
             (key_of t (Zipf.sample t.zipf t.rng), fresh_value t))
       in
       Database.put_multi t.db ~txn kvs;
-      List.iter (fun (k, v) -> t.writes_log <- (k, v, txn) :: t.writes_log) kvs;
+      List.iter (fun (k, v) -> t.writes_log <- (k, v, issue) :: t.writes_log) kvs;
       writes := kvs @ !writes
     end
     else
@@ -127,7 +138,7 @@ let issue_one t ~on_done =
         let key = key_of t (Zipf.sample t.zipf t.rng) in
         let value = fresh_value t in
         Database.put t.db ~txn ~key ~value;
-        t.writes_log <- (key, value, txn) :: t.writes_log;
+        t.writes_log <- (key, value, issue) :: t.writes_log;
         writes := (key, value) :: !writes
       done;
     for _ = 1 to n - n_writes do
@@ -186,5 +197,5 @@ let unacked_writes t = List.concat_map snd t.unacked
 
 let writes_in_issue_order t =
   List.rev_map
-    (fun (k, v, txn) -> (k, v, Txn_id.Tbl.mem t.acked_txns txn))
+    (fun (k, v, issue) -> (k, v, Hashtbl.mem t.acked_issues issue))
     t.writes_log

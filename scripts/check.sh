@@ -33,6 +33,11 @@ dune runtest
 # writer and compare logic cannot rot between bench runs.
 dune build @bench-smoke
 
+# VOPR smoke: three short curated fault scenarios, a digest-determinism
+# double-run, and a 25-seed nemesis mini-swarm — every run must end with
+# zero semantic-invariant violations (see DESIGN.md section 7).
+dune build @vopr-smoke
+
 # Determinism gate: the whole sim (including the observability sampler,
 # time-series decimation, and trace) must be byte-identical across reruns
 # of the same seed.  Any nondeterminism (hash-order iteration, wall-clock

@@ -460,6 +460,11 @@ let test_json_of_string_values () =
     (ok {|"a\n\t\"\\b"|} = Obs.Json.String "a\n\t\"\\b");
   check_bool "control-char \\u escape decodes" true
     (ok {|"\u0007"|} = Obs.Json.String "\007");
+  check_bool "three-byte \\u escape decodes to UTF-8" true
+    (ok {|"\uBEEF"|} = Obs.Json.String "\xeb\xbb\xaf");
+  check_bool "surrogate pair decodes to a single scalar" true
+    (* U+1F600 via its surrogate halves. *)
+    (ok {|"\uD83D\uDE00"|} = Obs.Json.String "\xf0\x9f\x98\x80");
   check_bool "nested structure" true
     (ok {|{"k": [1, {"x": null}], "s": ""}|}
     = Obs.Json.Obj
@@ -478,7 +483,10 @@ let test_json_of_string_errors () =
   ignore (bad "[1," : string);
   ignore (bad {|{"a" 1}|} : string);
   ignore (bad {|"\q"|} : string);
-  ignore (bad {|"\uBEEF"|} : string);
+  ignore (bad {|"\uZZZZ"|} : string);
+  ignore (bad {|"\uD83D"|} : string); (* unpaired high surrogate *)
+  ignore (bad {|"\uDE00"|} : string); (* unpaired low surrogate *)
+  ignore (bad {|"\uD83Dx"|} : string); (* high surrogate, no \u follow-up *)
   ignore (bad {|"unterminated|} : string);
   (* trailing garbage is an error, and the offset points at it *)
   check_bool "trailing input rejected with offset" true
@@ -488,6 +496,17 @@ let test_json_of_string_errors () =
      match String.index_opt e '2' with
      | Some _ -> true (* "at byte 2" *)
      | None -> false)
+
+let test_json_of_string_depth () =
+  let nested n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Obs.Json.of_string (nested 200) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 200 should parse: %s" e);
+  match Obs.Json.of_string (nested 100_000) with
+  | Ok _ -> Alcotest.fail "absurd nesting should be rejected"
+  | Error e ->
+    check_bool "depth error mentions nesting" true
+      (Astring_contains.contains e "nest")
 
 (* print . parse . print = print: re-rendering a parsed document reproduces
    the original bytes, compact and pretty alike.  (parse . print is not the
@@ -776,6 +795,8 @@ let () =
             test_json_of_string_values;
           Alcotest.test_case "of_string errors" `Quick
             test_json_of_string_errors;
+          Alcotest.test_case "of_string depth cap" `Quick
+            test_json_of_string_depth;
           QCheck_alcotest.to_alcotest prop_json_of_string_roundtrip;
         ] );
       ( "series",

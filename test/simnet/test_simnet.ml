@@ -65,6 +65,40 @@ let test_partition_and_heal () =
   Sim.run sim;
   Alcotest.(check (list string)) "healed" [ "through" ] !got
 
+let test_drop_cause_split () =
+  (* Every drop lands in exactly one cause counter, and the aggregate
+     [dropped] is their sum — so a fault scenario can attribute loss to a
+     partition nemesis vs. a pinpoint block vs. a dead node. *)
+  let sim, net = fixture () in
+  ignore (collector net (addr 1) : string list ref);
+  ignore (collector net (addr 2) : string list ref);
+  Simnet.Net.set_down net (addr 3);
+  Simnet.Net.send net ~src:(addr 0) ~dst:(addr 3) "to-dead";
+  Simnet.Net.block net (addr 0) (addr 1);
+  Simnet.Net.send net ~src:(addr 0) ~dst:(addr 1) "blocked";
+  Simnet.Net.partition net
+    (Simnet.Addr.Set.singleton (addr 0))
+    (Simnet.Addr.Set.singleton (addr 2));
+  Simnet.Net.send net ~src:(addr 0) ~dst:(addr 2) "partitioned";
+  Sim.run sim;
+  let st = Simnet.Net.stats net in
+  check_int "down" 1 st.Simnet.Net.dropped_down;
+  check_int "blocked" 1 st.Simnet.Net.dropped_blocked;
+  check_int "partition" 1 st.Simnet.Net.dropped_partition;
+  check_int "random" 0 st.Simnet.Net.dropped_random;
+  check_int "sum" 3 st.Simnet.Net.dropped;
+  (* A partition laid over an existing block re-attributes the link (last
+     cause wins); healing the partition severs nothing else — the earlier
+     pinpoint block is gone with it. *)
+  Simnet.Net.partition net
+    (Simnet.Addr.Set.singleton (addr 0))
+    (Simnet.Addr.Set.singleton (addr 1));
+  Simnet.Net.send net ~src:(addr 0) ~dst:(addr 1) "now-partition";
+  Sim.run sim;
+  let st = Simnet.Net.stats net in
+  check_int "re-attributed to partition" 2 st.Simnet.Net.dropped_partition;
+  check_int "blocked unchanged" 1 st.Simnet.Net.dropped_blocked
+
 let test_drop_probability () =
   let sim, net = fixture () in
   let got = collector net (addr 1) in
@@ -134,6 +168,7 @@ let () =
           Alcotest.test_case "down node" `Quick test_down_node_drops;
           Alcotest.test_case "crash in flight" `Quick test_crash_in_flight;
           Alcotest.test_case "partition + heal" `Quick test_partition_and_heal;
+          Alcotest.test_case "drop cause split" `Quick test_drop_cause_split;
           Alcotest.test_case "drop probability" `Quick test_drop_probability;
           Alcotest.test_case "slowdown factor" `Quick test_slowdown;
         ] );

@@ -244,6 +244,42 @@ let test_segment_hydrate_from_gced_donor () =
   check_bool "blocks installed" true
     (Storage.Block_store.blocks (Storage.Segment.store fresh) <> [])
 
+let test_segment_hydrate_stale_snapshot_ignored () =
+  (* Regression: a later hydration round whose donor has coalesced {e less}
+     far than the importer must not install the donor's block snapshots.
+     The importer materialized "v10" into block 1 off the live stream; the
+     donor's snapshot still says "v7".  Loading it would roll the block
+     back while the importer's coalesce watermark stayed at 10, so records
+     8..10 would never be re-applied from the hot log — a silent loss of
+     acknowledged writes. *)
+  let donor = make_segment () in
+  ignore (Storage.Segment.insert_records donor (chain 7) : Lsn.t);
+  ignore (Storage.Segment.coalesce donor : int);
+  let importer = make_segment () in
+  ignore (Storage.Segment.insert_records importer (chain 10) : Lsn.t);
+  ignore (Storage.Segment.coalesce importer : int);
+  let records, blocks =
+    Storage.Segment.hydrate_export donor ~since:(Storage.Segment.scl importer)
+      ~want_blocks:true
+  in
+  check_int "donor has no newer records" 0 (List.length records);
+  check_bool "donor still offers snapshots" true (blocks <> []);
+  Storage.Segment.hydrate_import importer ~records ~blocks
+    ~donor_scl:(Storage.Segment.scl donor)
+    ~coalesced:(Storage.Segment.coalesced_upto donor);
+  check_int "importer scl untouched" 10 (Lsn.to_int (Storage.Segment.scl importer));
+  check_int "coalesce watermark untouched" 10
+    (Lsn.to_int (Storage.Segment.coalesced_upto importer));
+  Storage.Segment.note_pgcl importer (lsn 10);
+  match Storage.Segment.read_block importer ~block:(blk 1) ~as_of:(lsn 10) with
+  | Error e -> Alcotest.failf "read failed: %a" Protocol.pp_read_error e
+  | Ok img -> (
+    (* chain writes key "k1" on block 1 at LSNs 1,4,7,10; newest is v10. *)
+    match List.assoc_opt "k1" img.Protocol.image_entries with
+    | Some ({ Storage.Block_store.value = Some v; _ } :: _) ->
+      Alcotest.(check string) "newest write survived the stale import" "v10" v
+    | _ -> Alcotest.fail "k1 lost its newest version")
+
 let test_segment_txn_statuses () =
   let s = make_segment () in
   let commit =
@@ -400,6 +436,8 @@ let () =
           Alcotest.test_case "hydrate roundtrip" `Quick test_segment_hydrate_roundtrip;
           Alcotest.test_case "hydrate from GCed donor" `Quick
             test_segment_hydrate_from_gced_donor;
+          Alcotest.test_case "hydrate ignores stale snapshot" `Quick
+            test_segment_hydrate_stale_snapshot_ignored;
           Alcotest.test_case "txn statuses" `Quick test_segment_txn_statuses;
         ] );
       ( "node",
