@@ -542,7 +542,21 @@ let report_swarm_failures (failures : Vopr.Swarm.failure list) =
         (List.length f.shrunk.steps);
       print_violations f.outcome;
       Printf.printf "  wrote %s\n  repro: aurora_cli vopr repro --file %s --seed %d\n"
-        path path f.seed)
+        path path f.seed;
+      (* The shrunk run's flight-recorder snapshot rides along with the
+         repro, so the failure can be explained without re-running it. *)
+      match f.outcome.recorder with
+      | None -> ()
+      | Some artifact ->
+        let rpath =
+          Printf.sprintf "vopr-repro-%s-seed%d.recorder.json" f.shrunk.name
+            f.seed
+        in
+        write_file rpath (Recorder.Artifact.to_string artifact);
+        Printf.printf
+          "  wrote %s (flight recorder; try: aurora_cli explain --artifact %s \
+           <lsn>)\n"
+          rpath rpath)
     failures
 
 let run_vopr_swarm seeds seed0 nemesis quiet =
@@ -718,6 +732,268 @@ let vopr_cmd =
       vopr_smoke_cmd;
     ]
 
+(* ---- flight recorder: explain / dump / grep / smoke ---- *)
+
+module Artifact = Recorder.Artifact
+module Correlate = Recorder.Correlate
+module Event = Recorder.Event
+
+(* Artifact source shared by explain/dump/grep: a .recorder.json written by
+   a failed swarm run, or a live deterministic re-run of a scenario with
+   [record_always] so clean runs are explainable too. *)
+let load_artifact ~artifact ~name ~file ~nemesis ~seed =
+  match artifact with
+  | Some path -> (
+    match Artifact.of_string (read_file path) with
+    | Ok a -> a
+    | Error e ->
+      Printf.eprintf "recorder: %s: %s\n" path e;
+      exit 2)
+  | None -> (
+    let sc = load_scenario ~name ~file ~nemesis ~seed in
+    let o = Vopr.Runner.run ~seed ~record_always:true sc in
+    match o.recorder with
+    | Some a -> a
+    | None ->
+      Printf.eprintf "recorder: run produced no artifact\n";
+      exit 2)
+
+let parse_target s =
+  let num what v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "explain: %s: expected an integer, got %S\n" what v;
+      exit 2
+  in
+  match String.index_opt s ':' with
+  | None -> Artifact.Lsn (num "lsn" s)
+  | Some i -> (
+    let tag = String.sub s 0 i
+    and v = String.sub s (i + 1) (String.length s - i - 1) in
+    match tag with
+    | "lsn" -> Artifact.Lsn (num "lsn" v)
+    | "txn" -> Artifact.Txn (num "txn" v)
+    | "pg" -> Artifact.Pg (num "pg" v)
+    | t ->
+      Printf.eprintf "explain: unknown target kind %S (lsn:, txn: or pg:)\n" t;
+      exit 2)
+
+let run_explain target artifact name file nemesis seed json =
+  let a = load_artifact ~artifact ~name ~file ~nemesis ~seed in
+  let target = parse_target target in
+  if json then
+    print_endline (Obs.Json.to_string ~pretty:true (Artifact.explain_json a target))
+  else print_string (Artifact.explain a target)
+
+let artifact_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "artifact" ] ~docv:"FILE"
+        ~doc:
+          "A $(b,.recorder.json) repro artifact (as written by a failed \
+           swarm run).  Without it, the scenario selected by \
+           $(b,--scenario)/$(b,--file)/$(b,--nemesis) is re-run at \
+           $(b,--seed) with the recorder armed.")
+
+let target_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TARGET"
+        ~doc:
+          "What to explain: an LSN ($(b,400) or $(b,lsn:400)), a \
+           transaction ($(b,txn:17)), or a protection group ($(b,pg:0)).")
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Reconstruct the causal cross-node timeline of an LSN, txn, or \
+          protection group from flight-recorder rings: sends, receives, \
+          drops with their cause, SCL/VCL/VDL advances, and commit events, \
+          merged across nodes in sim-time order")
+    Term.(
+      const run_explain $ target_arg $ artifact_arg $ vopr_scenario_arg
+      $ vopr_file_arg $ vopr_nemesis_flag $ seed_arg $ json_arg)
+
+let run_recorder_dump artifact name file nemesis seed =
+  let a = load_artifact ~artifact ~name ~file ~nemesis ~seed in
+  print_string (Artifact.to_string a)
+
+let run_recorder_grep pattern artifact name file nemesis seed =
+  let a = load_artifact ~artifact ~name ~file ~nemesis ~seed in
+  let contains line =
+    let nh = String.length line and nn = String.length pattern in
+    let rec go i =
+      i + nn <= nh && (String.sub line i nn = pattern || go (i + 1))
+    in
+    nn = 0 || go 0
+  in
+  List.iter
+    (fun e ->
+      let line = Correlate.render_text [ e ] in
+      if contains line then print_endline line)
+    (Correlate.entries a.Artifact.snapshot)
+
+(* The recorder gate behind @recorder-smoke: force a curated scenario to
+   fail, shrink it, and check the repro artifact end-to-end — rings
+   captured, explain byte-deterministic, and the timeline of a committed
+   LSN covering send -> ack -> VCL advance -> commit ack. *)
+let run_recorder_smoke () =
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "FAIL: %s\n" m;
+        incr failures)
+      fmt
+  in
+  let base =
+    match Vopr.Curated.find "writer-crash-recovery" with
+    | Some sc -> sc
+    | None -> assert false
+  in
+  (* An epoch floor no run can reach: deterministic "expectation" failure
+     without disturbing the scenario's fault schedule. *)
+  let poisoned =
+    {
+      base with
+      Vopr.Scenario.steps =
+        base.Vopr.Scenario.steps
+        @ [
+            Vopr.Scenario.step
+              (Vopr.Scenario.at_ms base.Vopr.Scenario.duration_ms)
+              Vopr.Scenario.Noop
+              ~expect:[ Vopr.Scenario.Epoch_at_least (0, 999) ];
+          ];
+    }
+  in
+  (match Vopr.Shrink.minimize ~run:(fun sc -> Vopr.Runner.run ~seed:1 sc) poisoned with
+  | None -> fail "poisoned writer-crash-recovery did not fail"
+  | Some (shrunk, out) -> (
+    match out.Vopr.Runner.recorder with
+    | None -> fail "shrunk failing outcome carries no recorder artifact"
+    | Some artifact ->
+      let rings = artifact.Artifact.snapshot.Recorder.Rings.nodes in
+      let events =
+        List.fold_left
+          (fun acc (r : Recorder.Rings.node_ring) ->
+            acc + List.length r.Recorder.Rings.events)
+          0 rings
+      in
+      if rings = [] || events = 0 then
+        fail "repro artifact has empty recorder rings";
+      if artifact.Artifact.net = None then
+        fail "repro artifact has no net counters";
+      (* Explain a committed LSN from two independent replays of the shrunk
+         table: byte-identical output, full write-path coverage. *)
+      let o1 = Vopr.Runner.run ~seed:1 ~record_always:true shrunk in
+      let o2 = Vopr.Runner.run ~seed:1 ~record_always:true shrunk in
+      (match (o1.Vopr.Runner.recorder, o2.Vopr.Runner.recorder) with
+      | Some a1, Some a2 -> (
+        (* The newest commit in the ring: the bounded rings may have
+           evicted the write path of early commits, but the latest one's
+           send/ack/advance events are all inside the retained window. *)
+        let commit_scn =
+          List.fold_left
+            (fun acc (e : Correlate.entry) ->
+              match e.Correlate.event with
+              | Event.Commit_ack { scn; _ } -> Some scn
+              | _ -> acc)
+            None
+            (Correlate.entries a1.Artifact.snapshot)
+        in
+        match commit_scn with
+        | None -> fail "no commit ack recorded in the shrunk run"
+        | Some lsn ->
+          let t = Artifact.Lsn lsn in
+          let x1 = Artifact.explain a1 t and x2 = Artifact.explain a2 t in
+          if not (String.equal x1 x2) then
+            fail "explain lsn:%d not byte-deterministic across replays" lsn;
+          let timeline = Artifact.timeline a1 t in
+          let has p = List.exists (fun (e : Correlate.entry) -> p e.Correlate.event) timeline in
+          if not (has (function Event.Send { kind = Event.Write_batch; _ } -> true | _ -> false))
+          then fail "lsn:%d timeline misses the Write_batch send" lsn;
+          if
+            not
+              (has (function
+                | Event.Send { kind = Event.Write_ack; _ }
+                | Event.Receive { kind = Event.Write_ack; _ } -> true
+                | _ -> false))
+          then fail "lsn:%d timeline misses the write ack" lsn;
+          if not (has (function Event.Vcl_advance _ -> true | _ -> false)) then
+            fail "lsn:%d timeline misses the VCL advance" lsn;
+          if not (has (function Event.Commit_ack _ -> true | _ -> false)) then
+            fail "lsn:%d timeline misses the commit ack" lsn;
+          Printf.printf
+            "explain lsn:%d: %d timeline event(s), byte-stable across \
+             replays\n"
+            lsn (List.length timeline))
+      | _ -> fail "record_always replay produced no artifact")));
+  (* A clean curated run must also produce a usable live artifact. *)
+  (match Vopr.Curated.find "membership-dance" with
+  | None -> assert false
+  | Some sc ->
+    let o = Vopr.Runner.run ~seed:1 ~record_always:true sc in
+    if Vopr.Runner.failed o then fail "membership-dance failed under recorder";
+    (match o.Vopr.Runner.recorder with
+    | None -> fail "clean run with record_always has no artifact"
+    | Some a -> (
+      match Artifact.of_string (Artifact.to_string a) with
+      | Ok a' ->
+        if not (String.equal (Artifact.to_string a') (Artifact.to_string a))
+        then fail "artifact JSON does not round-trip byte-stably"
+      | Error e -> fail "artifact JSON round-trip: %s" e)));
+  Printf.printf "recorder smoke: %d failure(s)\n" !failures;
+  if !failures > 0 then exit 1
+
+let recorder_dump_cmd =
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Print the full flight-recorder artifact (per-node rings + net \
+          drop-cause and per-link counters) as byte-stable JSON")
+    Term.(
+      const run_recorder_dump $ artifact_arg $ vopr_scenario_arg
+      $ vopr_file_arg $ vopr_nemesis_flag $ seed_arg)
+
+let recorder_grep_cmd =
+  let pattern_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATTERN"
+          ~doc:"Substring to match against rendered timeline lines.")
+  in
+  Cmd.v
+    (Cmd.info "grep"
+       ~doc:
+         "Print every recorded event whose rendered line contains PATTERN, \
+          merged across nodes in causal order")
+    Term.(
+      const run_recorder_grep $ pattern_arg $ artifact_arg $ vopr_scenario_arg
+      $ vopr_file_arg $ vopr_nemesis_flag $ seed_arg)
+
+let recorder_smoke_cmd =
+  Cmd.v
+    (Cmd.info "smoke"
+       ~doc:
+         "Recorder gate: force a curated scenario to fail, shrink it, and \
+          verify the repro artifact carries rings whose explain output is \
+          byte-deterministic and covers send -> ack -> VCL advance -> \
+          commit ack")
+    Term.(const run_recorder_smoke $ const ())
+
+let recorder_cmd =
+  Cmd.group
+    (Cmd.info "recorder"
+       ~doc:
+         "Flight-recorder artifacts: dump rings, grep events, run the \
+          recorder smoke gate (see DESIGN.md \xc2\xa78)")
+    [ recorder_dump_cmd; recorder_grep_cmd; recorder_smoke_cmd ]
+
 let default =
   Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ()))
 
@@ -739,4 +1015,6 @@ let () =
             bench_cmd;
             perf_cmd;
             vopr_cmd;
+            explain_cmd;
+            recorder_cmd;
           ]))

@@ -107,6 +107,11 @@ let obs t = t.obs
 let mark_stage t ~lsn ?member ?pg stage =
   Obs.Commit_path.mark (Obs.Ctx.commit_path t.obs) ~at:(Sim.now t.sim)
     ~lsn:(Lsn.to_int lsn) ?member ?pg stage
+
+(* Flight-recorder hook point; callers gate on [Recorder.Rings.enabled]
+   so a disabled recorder costs one flag read and no allocation. *)
+let rec_note t ev =
+  Recorder.Rings.note ~node:(Simnet.Addr.to_int t.addr) ~at:(Sim.now t.sim) ev
 let volume t = t.volume
 let config t = t.config
 let consistency t = t.consistency
@@ -149,6 +154,10 @@ let install_consistency_hooks t =
   Consistency.on_record_durable c (fun _pg lsn ->
       mark_stage t ~lsn Obs.Trace.Pgcl_advanced);
   Consistency.on_vcl_advance c (fun new_vcl ->
+      (* Recorded before the commit queue drains so a commit ack's recorder
+         event always follows the VCL advance that released it. *)
+      if Recorder.Rings.enabled () then
+        rec_note t (Recorder.Event.Vcl_advance { vcl = Lsn.to_int new_vcl });
       (* Newly covered records are marked [Vcl_advanced] before the commit
          queue drains, so a commit ack always sees its record's VCL stage
          time — [vcl_advanced→commit_acked] is a marquee span. *)
@@ -164,6 +173,8 @@ let install_consistency_hooks t =
       done;
       ignore (Commit_queue.drain t.commit_queue ~vcl:new_vcl : int));
   Consistency.on_vdl_advance c (fun new_vdl ->
+      if Recorder.Rings.enabled () then
+        rec_note t (Recorder.Event.Vdl_advance { vdl = Lsn.to_int new_vdl });
       let continue = ref true in
       while !continue do
         match Queue.peek_opt t.obs_vdl_pending with
@@ -407,11 +418,19 @@ let commit t ~txn callback =
     let scn = record.lsn in
     Txn_table.mark_committed t.txns txn ~scn;
     t.metrics.txns_committed <- t.metrics.txns_committed + 1;
+    if Recorder.Rings.enabled () then
+      rec_note t
+        (Recorder.Event.Commit_submit
+           { txn = Txn_id.to_int txn; scn = Lsn.to_int scn });
     let started = Sim.now t.sim in
     Commit_queue.enqueue t.commit_queue ~txn ~scn ~on_ack:(fun () ->
         t.metrics.commit_acks <- t.metrics.commit_acks + 1;
         Histogram.record_span t.metrics.commit_latency started (Sim.now t.sim);
         mark_stage t ~lsn:scn Obs.Trace.Commit_acked;
+        if Recorder.Rings.enabled () then
+          rec_note t
+            (Recorder.Event.Commit_ack
+               { txn = Txn_id.to_int txn; scn = Lsn.to_int scn });
         callback (Ok ()))
 
 let abort t ~txn =
@@ -592,10 +611,12 @@ let handle_message t (env : Protocol.t Simnet.Net.envelope) =
     | Protocol.Write_reject { reason; _ } -> (
       t.metrics.write_rejects <- t.metrics.write_rejects + 1;
       match reason with
-      | Protocol.Stale_volume_epoch _ ->
+      | Protocol.Stale_volume_epoch current ->
         (* A newer writer fenced us out: stop serving immediately. *)
         t.metrics.fenced <- t.metrics.fenced + 1;
-        t.open_ <- false
+        t.open_ <- false;
+        if Recorder.Rings.enabled () then
+          rec_note t (Recorder.Event.Fenced { epoch = Epoch.to_int current })
       | Protocol.Stale_membership_epoch _ | Protocol.Not_a_member -> ())
     | Protocol.Read_reply { req; seg; result } ->
       Reader.on_reply t.reader ~req ~seg ~from:env.src ~result
@@ -702,10 +723,12 @@ let start t =
   t.generation <- t.generation + 1;
   Simnet.Net.register t.net t.addr (handle_message t);
   Simnet.Net.set_up t.net t.addr;
+  if Recorder.Rings.enabled () then rec_note t Recorder.Event.Started;
   List.iter (fun pg -> broadcast_membership t pg.Volume.id) (Volume.pgs t.volume);
   start_background t
 
 let crash t =
+  if Recorder.Rings.enabled () then rec_note t Recorder.Event.Crashed;
   t.open_ <- false;
   t.generation <- t.generation + 1;
   Simnet.Net.set_down t.net t.addr;
@@ -757,6 +780,10 @@ let recover t on_ready =
   t.generation <- t.generation + 1;
   Simnet.Net.register t.net t.addr (handle_message t);
   Simnet.Net.set_up t.net t.addr;
+  if Recorder.Rings.enabled () then
+    rec_note t
+      (Recorder.Event.Recovery_start
+         { epoch = Epoch.to_int (Volume.volume_epoch t.volume) });
   let r =
     Recovery.start ~sim:t.sim ~net:t.net ~my_addr:t.addr ~volume:t.volume
       ~obs:t.obs
@@ -766,6 +793,15 @@ let recover t on_ready =
           rebuild_from_outcome t outcome;
           t.open_ <- true;
           t.generation <- t.generation + 1;
+          if Recorder.Rings.enabled () then begin
+            rec_note t
+              (Recorder.Event.Recovery_finish
+                 {
+                   vcl = Lsn.to_int outcome.Recovery.vcl;
+                   vdl = Lsn.to_int outcome.Recovery.vdl;
+                 });
+            rec_note t Recorder.Event.Started
+          end;
           List.iter
             (fun pg -> broadcast_membership t pg.Volume.id)
             (Volume.pgs t.volume);

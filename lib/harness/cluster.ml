@@ -78,6 +78,10 @@ let make_storage_node_raw ~sim ~rng ~net ~s3 ~storage_config ~addr_alloc
     ~az_of ~obs ~az =
   let addr = Simnet.Addr.Allocator.take addr_alloc in
   Simnet.Addr.Tbl.replace az_of addr az;
+  if Recorder.Rings.enabled () then
+    Recorder.Rings.register
+      ~node:(Simnet.Addr.to_int addr)
+      ~role:Recorder.Event.Storage;
   Storage.Storage_node.create ~sim ~rng:(Rng.split rng) ~net ~addr ~s3
     ~config:storage_config ~obs
     ~obs_labels:[ ("az", Printf.sprintf "az%d" (Az.to_int az + 1)) ]
@@ -266,6 +270,54 @@ let create cfg =
   (* Writer lives in AZ1 (index 0). *)
   let db_addr = Simnet.Addr.Allocator.take addr_alloc in
   Simnet.Addr.Tbl.replace az_of db_addr (Az.of_int 0);
+  if Recorder.Rings.enabled () then
+    Recorder.Rings.register
+      ~node:(Simnet.Addr.to_int db_addr)
+      ~role:Recorder.Event.Writer;
+  (* Flight-recorder network hook: translate wire messages into per-node
+     send/receive/drop events.  Installed unconditionally — it checks the
+     recorder's enable flag itself, so a disabled recorder costs one
+     closure call per message phase.  Drops land on the *source* ring
+     with their cause: that is how [explain] can say why a send never
+     arrived. *)
+  Simnet.Net.set_recorder net
+    (Some
+       (fun phase ~src ~dst msg ->
+         if Recorder.Rings.enabled () then begin
+           let at = Sim.now sim in
+           let info = Protocol.describe msg in
+           let kind = info.Protocol.kind
+           and pg = info.Protocol.pg
+           and lsn_lo = info.Protocol.lsn_lo
+           and lsn_hi = info.Protocol.lsn_hi in
+           match phase with
+           | Simnet.Net.Sent ->
+             Recorder.Rings.note ~node:(Simnet.Addr.to_int src) ~at
+               (Recorder.Event.Send
+                  { kind; peer = Simnet.Addr.to_int dst; pg; lsn_lo; lsn_hi })
+           | Simnet.Net.Delivered ->
+             Recorder.Rings.note ~node:(Simnet.Addr.to_int dst) ~at
+               (Recorder.Event.Receive
+                  { kind; peer = Simnet.Addr.to_int src; pg; lsn_lo; lsn_hi })
+           | Simnet.Net.Dropped cause ->
+             let cause =
+               match cause with
+               | Simnet.Net.Down -> Recorder.Event.Down
+               | Simnet.Net.Blocked -> Recorder.Event.Blocked
+               | Simnet.Net.Partitioned -> Recorder.Event.Partitioned
+               | Simnet.Net.Random -> Recorder.Event.Random
+             in
+             Recorder.Rings.note ~node:(Simnet.Addr.to_int src) ~at
+               (Recorder.Event.Drop
+                  {
+                    kind;
+                    peer = Simnet.Addr.to_int dst;
+                    pg;
+                    lsn_lo;
+                    lsn_hi;
+                    cause;
+                  })
+         end));
   (* Latency by AZ distance. *)
   Simnet.Net.set_latency_fn net (fun a b ->
       match (Simnet.Addr.Tbl.find_opt az_of a, Simnet.Addr.Tbl.find_opt az_of b) with
@@ -345,6 +397,10 @@ let add_replica t =
   let addr = Simnet.Addr.Allocator.take t.addr_alloc in
   (* Replicas live in AZ2 by default: failover survives the writer's AZ. *)
   Simnet.Addr.Tbl.replace t.az_of addr (Az.of_int 1);
+  if Recorder.Rings.enabled () then
+    Recorder.Rings.register
+      ~node:(Simnet.Addr.to_int addr)
+      ~role:Recorder.Event.Replica;
   let replica =
     Replica.create ~sim:t.sim ~rng:(Rng.split t.rng) ~net:t.net ~addr
       ~volume:(Database.volume t.db) ~writer:(Database.addr t.db)

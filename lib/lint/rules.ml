@@ -20,10 +20,12 @@ let sim_code path =
    time-series output.  lib/obs is the whole observability layer; report and
    trace render experiment output directly; lib/vopr renders violation
    lists and repro digests whose byte-identity across reruns is the whole
-   point. *)
+   point; lib/recorder renders flight-recorder artifacts and explain
+   timelines under the same byte-stability contract. *)
 let output_feeding path =
   under "lib/obs" path
   || under "lib/vopr" path
+  || under "lib/recorder" path
   || path = "lib/harness/report.ml"
   || path = "lib/simcore/trace.ml"
 

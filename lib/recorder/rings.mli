@@ -1,0 +1,59 @@
+(** Global per-node event rings — the flight recorder proper.
+
+    Module-global mutable state in the style of [Perf.Probe]: it lives
+    entirely outside the sim, records no randomness, and schedules
+    nothing, so enabling the recorder cannot perturb a deterministic run.
+    Disabled (the default) every {!note} is a no-op, which is how the
+    [smoke --json] byte gate stays untouched.
+
+    Timestamps are [Simcore.Time_ns.t] values, i.e. plain nanosecond
+    ints, stored verbatim. *)
+
+val min_depth : int
+(** Smallest accepted ring capacity (16). *)
+
+val max_depth : int
+(** Largest accepted ring capacity (65536) — bounds swarm memory even if
+    every scenario asks for the ceiling. *)
+
+val default_depth : int
+(** Capacity used when no [recorder_depth] directive is given (512). *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val set_depth : int -> unit
+(** Capacity for rings registered {e afterwards}; existing rings keep
+    theirs.  Raises [Invalid_argument] outside
+    [[min_depth, max_depth]]. *)
+
+val reset : unit -> unit
+(** Drop every ring and restore {!default_depth}.  Call between runs so
+    swarm memory stays flat across seeds. *)
+
+val register : node:int -> role:Event.role -> unit
+(** Create an empty ring for [node] (idempotent — a restart does not wipe
+    the node's history).  Unregistered nodes that record anyway are
+    auto-registered with role {!Event.Unknown}. *)
+
+val note : node:int -> at:int -> Event.t -> unit
+(** Append an event at sim time [at] (nanoseconds).  No-op while
+    disabled; once a ring is full the oldest event is evicted. *)
+
+val registered : unit -> int
+(** Number of rings currently registered. *)
+
+type node_ring = {
+  node : int;
+  role : Event.role;
+  depth : int;
+  evicted : int;  (** events lost to ring wrap-around *)
+  events : (int * Event.t) list;  (** (sim ns, event), oldest first *)
+}
+
+type snapshot = { nodes : node_ring list (* sorted by node id *) }
+
+val snapshot : unit -> snapshot
+(** Immutable copy of every ring, nodes sorted by id — the input to
+    [Correlate] and [Artifact]. *)

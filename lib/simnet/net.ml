@@ -27,6 +27,31 @@ type stats = {
    distinguish partition loss from pinpoint blocks. *)
 type block_kind = Direct | Part
 
+type drop_cause = Down | Blocked | Partitioned | Random
+
+type phase = Sent | Delivered | Dropped of drop_cause
+
+(* Per-link delivery counters, keyed (src, dst) as ints.  Mutable in
+   place: [send] is the sim's hottest path and the stats record above is
+   already copied per call. *)
+type link_counters = {
+  mutable l_sent : int;
+  mutable l_delivered : int;
+  mutable l_down : int;
+  mutable l_blocked : int;
+  mutable l_partition : int;
+  mutable l_random : int;
+}
+
+type link_stat = {
+  sent_on : int;
+  delivered_on : int;
+  drop_down : int;
+  drop_blocked : int;
+  drop_partition : int;
+  drop_random : int;
+}
+
 type 'msg t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -39,6 +64,8 @@ type 'msg t = {
   slowdown : float Addr.Tbl.t;
   down : unit Addr.Tbl.t;
   blocked : (int * int, block_kind) Hashtbl.t;
+  links : (int * int, link_counters) Hashtbl.t;
+  mutable recorder : (phase -> src:Addr.t -> dst:Addr.t -> 'msg -> unit) option;
   mutable st : stats;
 }
 
@@ -69,6 +96,8 @@ let create ~sim ~rng ~default_latency ?obs () =
       slowdown = Addr.Tbl.create 16;
       down = Addr.Tbl.create 16;
       blocked = Hashtbl.create 16;
+      links = Hashtbl.create 64;
+      recorder = None;
       st = zero_stats;
     }
   in
@@ -142,24 +171,65 @@ let slow_factor t addr =
   match Addr.Tbl.find_opt t.slowdown addr with Some f -> f | None -> 1.0
 
 let stats t = t.st
-let reset_stats t = t.st <- zero_stats
 
-type drop_cause = Down | Blocked | Partitioned | Random
+let reset_stats t =
+  t.st <- zero_stats;
+  Hashtbl.reset t.links
 
-let note_drop t cause =
+let set_recorder t cb = t.recorder <- cb
+
+let record t phase ~src ~dst msg =
+  match t.recorder with None -> () | Some f -> f phase ~src ~dst msg
+
+let link_for t src dst =
+  let k = key src dst in
+  match Hashtbl.find_opt t.links k with
+  | Some c -> c
+  | None ->
+    let c =
+      { l_sent = 0; l_delivered = 0; l_down = 0; l_blocked = 0;
+        l_partition = 0; l_random = 0 }
+    in
+    Hashtbl.replace t.links k c;
+    c
+
+let link_stats t =
+  Hashtbl.fold
+    (fun k c acc ->
+      ( k,
+        {
+          sent_on = c.l_sent;
+          delivered_on = c.l_delivered;
+          drop_down = c.l_down;
+          drop_blocked = c.l_blocked;
+          drop_partition = c.l_partition;
+          drop_random = c.l_random;
+        } )
+      :: acc)
+    t.links []
+  |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+         match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
+
+let note_drop t ~src ~dst cause =
   let st = t.st in
+  let link = link_for t src dst in
   t.st <-
     (match cause with
-    | Down -> { st with dropped = st.dropped + 1; dropped_down = st.dropped_down + 1 }
+    | Down ->
+      link.l_down <- link.l_down + 1;
+      { st with dropped = st.dropped + 1; dropped_down = st.dropped_down + 1 }
     | Blocked ->
+      link.l_blocked <- link.l_blocked + 1;
       { st with dropped = st.dropped + 1; dropped_blocked = st.dropped_blocked + 1 }
     | Partitioned ->
+      link.l_partition <- link.l_partition + 1;
       {
         st with
         dropped = st.dropped + 1;
         dropped_partition = st.dropped_partition + 1;
       }
     | Random ->
+      link.l_random <- link.l_random + 1;
       { st with dropped = st.dropped + 1; dropped_random = st.dropped_random + 1 })
 
 let sever_cause t a b =
@@ -170,16 +240,22 @@ let sever_cause t a b =
 
 let send t ~src ~dst ?(bytes = 64) msg =
   t.st <- { t.st with sent = t.st.sent + 1; bytes_sent = t.st.bytes_sent + bytes };
+  let out = link_for t src dst in
+  out.l_sent <- out.l_sent + 1;
+  record t Sent ~src ~dst msg;
+  let drop cause =
+    note_drop t ~src ~dst cause;
+    record t (Dropped cause) ~src ~dst msg
+  in
   (* Attribution order mirrors the old short-circuit: the stochastic draw
      happens only when neither endpoint fault applies, keeping the RNG
      stream (and thus every seeded run) identical. *)
-  if is_down t src then note_drop t Down
+  if is_down t src then drop Down
   else
     match sever_cause t src dst with
-    | Some cause -> note_drop t cause
+    | Some cause -> drop cause
     | None ->
-      if Rng.bernoulli t.rng (drop_probability t ~src ~dst) then
-        note_drop t Random
+      if Rng.bernoulli t.rng (drop_probability t ~src ~dst) then drop Random
       else begin
         let base = Distribution.sample (latency_for t ~src ~dst) t.rng in
         let factor = slow_factor t src *. slow_factor t dst in
@@ -193,13 +269,13 @@ let send t ~src ~dst ?(bytes = 64) msg =
                (* Down / blocked state is re-checked at delivery: a node that
                   crashed while the message was in flight never sees it.  An
                   unregistered destination counts as down. *)
-               if is_down t dst then note_drop t Down
+               if is_down t dst then drop Down
                else
                  match sever_cause t src dst with
-                 | Some cause -> note_drop t cause
+                 | Some cause -> drop cause
                  | None -> (
                    match Addr.Tbl.find_opt t.handlers dst with
-                   | None -> note_drop t Down
+                   | None -> drop Down
                    | Some handler ->
                      t.st <-
                        {
@@ -207,6 +283,9 @@ let send t ~src ~dst ?(bytes = 64) msg =
                          delivered = t.st.delivered + 1;
                          bytes_delivered = t.st.bytes_delivered + bytes;
                        };
+                     let link = link_for t src dst in
+                     link.l_delivered <- link.l_delivered + 1;
+                     record t Delivered ~src ~dst msg;
                      (* Perf span around the handler only — latency modelling
                         and drop bookkeeping above are scheduling, not
                         delivery work. *)

@@ -99,4 +99,41 @@ val partition : 'msg t -> Addr.Set.t -> Addr.Set.t -> unit
 val heal_partition : 'msg t -> Addr.Set.t -> Addr.Set.t -> unit
 
 val stats : 'msg t -> stats
+
 val reset_stats : 'msg t -> unit
+(** Zero the global counters and forget per-link ones. *)
+
+(** Why a particular message was dropped — the per-message analogue of the
+    cause-split counters in {!stats}. *)
+type drop_cause =
+  | Down  (** endpoint down (or destination unregistered) *)
+  | Blocked  (** link severed by a targeted {!block} *)
+  | Partitioned  (** link severed by a set-level {!partition} *)
+  | Random  (** stochastic loss *)
+
+(** Lifecycle points a message passes through.  Every send yields [Sent],
+    then exactly one of [Delivered] or [Dropped] (at send time or at the
+    scheduled delivery time). *)
+type phase = Sent | Delivered | Dropped of drop_cause
+
+val set_recorder :
+  'msg t -> (phase -> src:Addr.t -> dst:Addr.t -> 'msg -> unit) option -> unit
+(** Install (or clear) a flight-recorder hook, called synchronously on
+    every message phase.  The hook must not send, schedule, or draw
+    randomness — it observes; the harness uses it to feed
+    [Recorder.Rings] without the network depending on the recorder. *)
+
+(** Per-link delivery counters, keyed by directed (src, dst) node-id
+    pair. *)
+type link_stat = {
+  sent_on : int;
+  delivered_on : int;
+  drop_down : int;
+  drop_blocked : int;
+  drop_partition : int;
+  drop_random : int;
+}
+
+val link_stats : 'msg t -> ((int * int) * link_stat) list
+(** Every link that carried at least one message, sorted by (src, dst) —
+    deterministic, feeds the recorder artifact's [net] section. *)

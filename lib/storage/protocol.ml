@@ -190,6 +190,78 @@ let bytes = function
     + (List.length commits * 16)
   | Replica_feedback _ -> 48
 
+(* ------------------------------------------------ flight-recorder view -- *)
+
+(* The recorder's reduced view of a message: bare kind tag, governing PG,
+   and the LSN range it carries — the payload range for record-carrying
+   messages, the watermark itself otherwise ([-1] = no LSN / no PG). *)
+type info = {
+  kind : Recorder.Event.msg_kind;
+  pg : int;
+  lsn_lo : int;
+  lsn_hi : int;
+}
+
+let lsn_image lsn = if Lsn.is_none lsn then -1 else Lsn.to_int lsn
+
+let record_range records =
+  match Log_record.lsn_range records with
+  | None -> (-1, -1)
+  | Some (lo, hi) -> (lsn_image lo, lsn_image hi)
+
+let point lsn =
+  let v = lsn_image lsn in
+  (v, v)
+
+let describe msg =
+  let mk kind p (lsn_lo, lsn_hi) = { kind; pg = p; lsn_lo; lsn_hi } in
+  let no_pg = -1 in
+  match msg with
+  | Write_batch { pg; records; _ } ->
+    mk Recorder.Event.Write_batch (Pg_id.to_int pg) (record_range records)
+  | Write_ack { pg; scl; _ } ->
+    mk Recorder.Event.Write_ack (Pg_id.to_int pg) (point scl)
+  | Write_reject { pg; _ } ->
+    mk Recorder.Event.Write_reject (Pg_id.to_int pg) (-1, -1)
+  | Read_block { pg; as_of; _ } ->
+    mk Recorder.Event.Read_block (Pg_id.to_int pg) (point as_of)
+  | Read_reply _ -> mk Recorder.Event.Read_reply no_pg (-1, -1)
+  | Gossip_pull { pg; scl; _ } ->
+    mk Recorder.Event.Gossip_pull (Pg_id.to_int pg) (point scl)
+  | Gossip_reply { pg; records } ->
+    mk Recorder.Event.Gossip_reply (Pg_id.to_int pg) (record_range records)
+  | Scl_probe { pg; _ } -> mk Recorder.Event.Scl_probe (Pg_id.to_int pg) (-1, -1)
+  | Scl_reply { pg; scl; highest; _ } ->
+    mk Recorder.Event.Scl_reply (Pg_id.to_int pg)
+      (lsn_image scl, lsn_image highest)
+  | Truncate { pg; above; upto; _ } ->
+    mk Recorder.Event.Truncate (Pg_id.to_int pg)
+      (lsn_image above, lsn_image upto)
+  | Truncate_ack { pg; _ } ->
+    mk Recorder.Event.Truncate_ack (Pg_id.to_int pg) (-1, -1)
+  | Epoch_update { pg; _ } ->
+    mk Recorder.Event.Epoch_update (Pg_id.to_int pg) (-1, -1)
+  | Epoch_ack { pg; _ } -> mk Recorder.Event.Epoch_ack (Pg_id.to_int pg) (-1, -1)
+  | Membership_update { pg; _ } ->
+    mk Recorder.Event.Membership_update (Pg_id.to_int pg) (-1, -1)
+  | Hydrate_pull { pg; since; _ } ->
+    mk Recorder.Event.Hydrate_pull (Pg_id.to_int pg) (point since)
+  | Hydrate_reply { pg; records; scl; _ } ->
+    let range =
+      match records with [] -> point scl | _ -> record_range records
+    in
+    mk Recorder.Event.Hydrate_reply (Pg_id.to_int pg) range
+  | Pgmrpl_update { pg; floor; _ } ->
+    mk Recorder.Event.Pgmrpl_update (Pg_id.to_int pg) (point floor)
+  | Redo_stream { chunks; vdl; _ } ->
+    let records = List.concat_map (fun c -> c.chunk_records) chunks in
+    let range =
+      match records with [] -> point vdl | _ -> record_range records
+    in
+    mk Recorder.Event.Redo_stream no_pg range
+  | Replica_feedback { read_floor } ->
+    mk Recorder.Event.Replica_feedback no_pg (point read_floor)
+
 let pp_reject_reason fmt = function
   | Stale_volume_epoch e -> Format.fprintf fmt "stale volume epoch (current %a)" Epoch.pp e
   | Stale_membership_epoch e ->

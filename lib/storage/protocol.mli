@@ -165,5 +165,20 @@ val image_bytes : block_image -> int
 val bytes : t -> int
 (** Estimated wire size of a message, used for network byte accounting. *)
 
+(** The flight recorder's reduced view of a message: bare kind tag,
+    governing protection group, and the LSN range it carries — the
+    payload range for record-carrying messages, the watermark itself
+    otherwise ([-1] = no LSN / no PG). *)
+type info = {
+  kind : Recorder.Event.msg_kind;
+  pg : int;
+  lsn_lo : int;
+  lsn_hi : int;
+}
+
+val describe : t -> info
+(** Translate a wire message for [Recorder] hook points.  Pure; performs
+    no LSN arithmetic, only integer imaging. *)
+
 val pp_reject_reason : Format.formatter -> reject_reason -> unit
 val pp_read_error : Format.formatter -> read_error -> unit

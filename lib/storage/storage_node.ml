@@ -130,6 +130,11 @@ let is_alive t = t.alive
 
 let send t ~dst msg = Simnet.Net.send t.net ~src:t.addr ~dst ~bytes:(Protocol.bytes msg) msg
 
+(* Flight-recorder hook point; callers gate on [Recorder.Rings.enabled]
+   so a disabled recorder costs one flag read and no allocation. *)
+let rec_note t ev =
+  Recorder.Rings.note ~node:(Simnet.Addr.to_int t.addr) ~at:(Sim.now t.sim) ev
+
 let reject_metric t = t.metrics.rejects <- t.metrics.rejects + 1
 
 (* ---- foreground handlers ---- *)
@@ -163,6 +168,14 @@ let handle_write t ~reply_to ~pg ~seg ~records ~pgcl ~epochs =
               t.metrics.records_stored <- t.metrics.records_stored + (after - before);
               t.metrics.duplicates <-
                 t.metrics.duplicates + (List.length records - (after - before));
+              if Recorder.Rings.enabled () then
+                rec_note t
+                  (Recorder.Event.Scl_advance
+                     {
+                       pg = Pg_id.to_int pg;
+                       scl = Lsn.to_int scl;
+                       stored = after - before;
+                     });
               send t ~dst:reply_to (Protocol.Write_ack { pg; seg; scl });
               Perf.Probe.stop Perf.Probe.Storage_apply
             end)
@@ -224,6 +237,14 @@ let handle_gossip_reply t ~pg ~records =
           let after = Hot_log.record_count (Segment.hot_log s) in
           t.metrics.gossip_records_filled <-
             t.metrics.gossip_records_filled + (after - before);
+          if Recorder.Rings.enabled () && after > before then
+            rec_note t
+              (Recorder.Event.Gossip_fill
+                 {
+                   pg = Pg_id.to_int pg;
+                   scl = Lsn.to_int scl;
+                   filled = after - before;
+                 });
           (* A gossip-driven SCL advance is acknowledged to the writer just
              like a write-driven one: dropped acks self-heal this way. *)
           if Lsn.(scl > scl_before) then
@@ -275,8 +296,13 @@ let handle_hydrate_reply t ~pg ~records ~blocks ~donor_scl ~coalesced ~statuses 
           0 blocks
     in
     Disk.submit t.disk ~bytes (fun () ->
-        if t.alive then
-          Segment.hydrate_import s ~records ~blocks ~donor_scl ~coalesced)
+        if t.alive then begin
+          Segment.hydrate_import s ~records ~blocks ~donor_scl ~coalesced;
+          if Recorder.Rings.enabled () then
+            rec_note t
+              (Recorder.Event.Hydrate_import
+                 { pg = Pg_id.to_int pg; scl = Lsn.to_int (Segment.scl s) })
+        end)
 
 let handle_message t (env : Protocol.t Simnet.Net.envelope) =
   if t.alive then
@@ -321,11 +347,28 @@ let handle_message t (env : Protocol.t Simnet.Net.envelope) =
         (* Installing a higher epoch is itself a write at the new epoch:
            unconditionally adopted (§2.4). *)
         Segment.install_volume_epoch s epochs.volume;
+        if Recorder.Rings.enabled () then
+          rec_note t
+            (Recorder.Event.Epoch_change
+               {
+                 pg = Pg_id.to_int pg;
+                 volume_epoch = Epoch.to_int (Segment.volume_epoch s);
+                 membership_epoch = Epoch.to_int (Segment.membership_epoch s);
+               });
         send t ~dst:env.src (Protocol.Epoch_ack { req; pg; seg }))
     | Protocol.Membership_update { pg; epoch; peers } -> (
       match segment t pg with
       | None -> ()
-      | Some s -> Segment.install_membership s ~epoch ~peers)
+      | Some s ->
+        Segment.install_membership s ~epoch ~peers;
+        if Recorder.Rings.enabled () then
+          rec_note t
+            (Recorder.Event.Epoch_change
+               {
+                 pg = Pg_id.to_int pg;
+                 volume_epoch = Epoch.to_int (Segment.volume_epoch s);
+                 membership_epoch = Epoch.to_int (Segment.membership_epoch s);
+               }))
     | Protocol.Hydrate_pull { req; pg; from_seg = _; since; want_blocks; epochs }
       ->
       handle_hydrate_pull t ~reply_to:env.src ~req ~pg ~since ~want_blocks
@@ -341,7 +384,11 @@ let handle_message t (env : Protocol.t Simnet.Net.envelope) =
       | Some s ->
         Segment.note_pgcl s pgcl;
         t.metrics.versions_gced <-
-          t.metrics.versions_gced + Segment.advance_pgmrpl s floor)
+          t.metrics.versions_gced + Segment.advance_pgmrpl s floor;
+        if Recorder.Rings.enabled () then
+          rec_note t
+            (Recorder.Event.Pgmrpl_advance
+               { pg = Pg_id.to_int pg; floor = Lsn.to_int floor }))
     | Protocol.Write_ack _ | Protocol.Write_reject _ | Protocol.Read_reply _
     | Protocol.Scl_reply _ | Protocol.Truncate_ack _ | Protocol.Epoch_ack _
     | Protocol.Redo_stream _ | Protocol.Replica_feedback _ ->
@@ -459,17 +506,20 @@ let start t =
   t.generation <- t.generation + 1;
   Simnet.Net.register t.net t.addr (handle_message t);
   Simnet.Net.set_up t.net t.addr;
+  if Recorder.Rings.enabled () then rec_note t Recorder.Event.Started;
   start_background t
 
 let crash t =
   t.alive <- false;
-  Simnet.Net.set_down t.net t.addr
+  Simnet.Net.set_down t.net t.addr;
+  if Recorder.Rings.enabled () then rec_note t Recorder.Event.Crashed
 
 let restart t = start t
 
 let destroy t =
   crash t;
-  Pg_id.Tbl.reset t.segments
+  Pg_id.Tbl.reset t.segments;
+  if Recorder.Rings.enabled () then rec_note t Recorder.Event.Destroyed
 
 let request_hydration t ~pg ~from =
   match segment t pg with

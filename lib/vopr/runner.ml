@@ -21,9 +21,39 @@ type outcome = {
   final_vcl : int;
   final_vdl : int;
   write_available : float;
+  recorder : Recorder.Artifact.t option;
 }
 
 let failed o = o.total_violations > 0
+
+(* Image the network's global and per-link counters into the recorder
+   artifact's plain-int [net] section. *)
+let net_artifact net =
+  let s = Simnet.Net.stats net in
+  let links =
+    List.map
+      (fun ((src, dst), (l : Simnet.Net.link_stat)) ->
+        {
+          Recorder.Artifact.src;
+          dst;
+          l_sent = l.Simnet.Net.sent_on;
+          l_delivered = l.Simnet.Net.delivered_on;
+          l_down = l.Simnet.Net.drop_down;
+          l_blocked = l.Simnet.Net.drop_blocked;
+          l_partition = l.Simnet.Net.drop_partition;
+          l_random = l.Simnet.Net.drop_random;
+        })
+      (Simnet.Net.link_stats net)
+  in
+  {
+    Recorder.Artifact.sent = s.Simnet.Net.sent;
+    delivered = s.Simnet.Net.delivered;
+    dropped_down = s.Simnet.Net.dropped_down;
+    dropped_blocked = s.Simnet.Net.dropped_blocked;
+    dropped_partition = s.Simnet.Net.dropped_partition;
+    dropped_random = s.Simnet.Net.dropped_random;
+    links;
+  }
 
 (* 1-based AZ numbers in scenarios, zero-based Az.t in the cluster. *)
 let az_of_spec n =
@@ -40,7 +70,7 @@ let replacement_of cluster pg suspect =
         if Member_id.equal p.suspect suspect then Some p.replacement else None)
       (Quorum.Membership.pendings g.membership)
 
-let run ~seed (sc : Scenario.t) =
+let run ~seed ?(record_always = false) (sc : Scenario.t) =
   let cfg =
     {
       Cluster.default_config with
@@ -49,6 +79,12 @@ let run ~seed (sc : Scenario.t) =
       layout = sc.layout;
     }
   in
+  (* Arm the flight recorder before any node registers.  Ring state lives
+     outside the sim and the hooks draw no randomness, so an instrumented
+     run is byte-identical to a bare one. *)
+  Recorder.Rings.reset ();
+  Recorder.Rings.set_depth sc.recorder_depth;
+  Recorder.Rings.enable ();
   let cluster = Cluster.create cfg in
   let sim = Cluster.sim cluster in
   let db = Cluster.db cluster in
@@ -234,6 +270,19 @@ let run ~seed (sc : Scenario.t) =
   Checker.quiesce_audit checker;
   Sim.run_until sim (Time_ns.add full_horizon (Time_ns.sec 5));
   Checker.stop checker;
+  (* Snapshot the rings into the repro artifact on any violation (or on
+     request), then stand the recorder down so swarm memory stays flat. *)
+  let recorder =
+    if Checker.total checker > 0 || record_always then
+      Some
+        (Recorder.Artifact.make
+           ~snapshot:(Recorder.Rings.snapshot ())
+           ~net:(net_artifact (Cluster.net cluster))
+           ())
+    else None
+  in
+  Recorder.Rings.disable ();
+  Recorder.Rings.reset ();
   {
     scenario = sc.name;
     seed;
@@ -248,6 +297,7 @@ let run ~seed (sc : Scenario.t) =
     final_vdl = Lsn.to_int (Database.vdl db);
     write_available =
       Obs.Health.write_available_fraction (Obs.Ctx.health (Cluster.obs cluster));
+    recorder;
   }
 
 let digest o =

@@ -31,9 +31,15 @@ type outcome = {
   final_vdl : int;
   write_available : float;
       (** {!Obs.Health.write_available_fraction} over the whole run. *)
+  recorder : Recorder.Artifact.t option;
+      (** Flight-recorder snapshot (per-node rings + net counters),
+          captured when the run had violations or [record_always] was set.
+          Not part of {!digest}. *)
 }
 
-val run : seed:int -> Scenario.t -> outcome
+val run : seed:int -> ?record_always:bool -> Scenario.t -> outcome
+(** [record_always] (default false) captures the recorder artifact even on
+    a clean run — the live path behind [aurora_cli explain]. *)
 
 val failed : outcome -> bool
 (** [total_violations > 0]. *)

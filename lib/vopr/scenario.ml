@@ -43,6 +43,7 @@ type t = {
   rate : float;
   duration_ms : int;
   quiesce_ms : int;
+  recorder_depth : int;
   steps : step list;
 }
 
@@ -53,8 +54,19 @@ let at_lsn lsn = At_lsn lsn
 let step ?(expect = []) trigger action = { trigger; action; expect }
 
 let make ~name ?(n_pgs = 1) ?(layout = Harness.Cluster.V6) ?(replicas = 0)
-    ?(rate = 1500.) ?(duration_ms = 1500) ?(quiesce_ms = 1500) steps =
-  { name; n_pgs; layout; replicas; rate; duration_ms; quiesce_ms; steps }
+    ?(rate = 1500.) ?(duration_ms = 1500) ?(quiesce_ms = 1500)
+    ?(recorder_depth = Recorder.Rings.default_depth) steps =
+  {
+    name;
+    n_pgs;
+    layout;
+    replicas;
+    rate;
+    duration_ms;
+    quiesce_ms;
+    recorder_depth;
+    steps;
+  }
 
 (* ---- printer ---- *)
 
@@ -128,6 +140,7 @@ let to_string t =
   line "rate %s" (float_str t.rate);
   line "duration_ms %d" t.duration_ms;
   line "quiesce_ms %d" t.quiesce_ms;
+  line "recorder_depth %d" t.recorder_depth;
   List.iter (fun st -> line "%s" (step_str st)) t.steps;
   Buffer.contents buf
 
@@ -275,6 +288,7 @@ let of_string src =
   let rate = ref 1500. in
   let duration_ms = ref 1500 in
   let quiesce_ms = ref 1500 in
+  let recorder_depth = ref Recorder.Rings.default_depth in
   let steps = ref [] in
   let saw_step = ref false in
   let header lineno set =
@@ -303,6 +317,13 @@ let of_string src =
       header lineno (fun () -> duration_ms := int_of lineno "duration_ms" v)
     | [ "quiesce_ms"; v ] ->
       header lineno (fun () -> quiesce_ms := int_of lineno "quiesce_ms" v)
+    | [ "recorder_depth"; v ] ->
+      header lineno (fun () ->
+          let d = int_of lineno "recorder_depth" v in
+          if d < Recorder.Rings.min_depth || d > Recorder.Rings.max_depth then
+            failf lineno "recorder_depth: %d outside %d..%d" d
+              Recorder.Rings.min_depth Recorder.Rings.max_depth
+          else recorder_depth := d)
     | tok :: _ -> failf lineno "unknown directive %S" tok
   in
   match
@@ -328,6 +349,7 @@ let of_string src =
           rate = !rate;
           duration_ms = !duration_ms;
           quiesce_ms = !quiesce_ms;
+          recorder_depth = !recorder_depth;
           steps = List.rev !steps;
         })
   | exception Parse_error msg -> Error msg

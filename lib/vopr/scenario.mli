@@ -69,6 +69,9 @@ type t = {
   rate : float;  (** Open-loop transaction arrival rate, per second. *)
   duration_ms : int;  (** Workload duration; also the step horizon floor. *)
   quiesce_ms : int;  (** Settle time after workload + steps, before audit. *)
+  recorder_depth : int;
+      (** Flight-recorder ring capacity per node, within
+          [Recorder.Rings.min_depth .. max_depth]. *)
   steps : step list;
 }
 
@@ -86,17 +89,19 @@ val make :
   ?rate:float ->
   ?duration_ms:int ->
   ?quiesce_ms:int ->
+  ?recorder_depth:int ->
   step list ->
   t
 (** Defaults: 1 PG, V6 layout, no replicas, 1500 txn/s, 1500 ms workload,
-    1500 ms quiesce. *)
+    1500 ms quiesce, {!Recorder.Rings.default_depth} recorder events per
+    node. *)
 
 (* ---- text format ---- *)
 
 val to_string : t -> string
 (** Canonical rendering: header lines ([scenario], [pgs], [layout],
-    [replicas], [rate], [duration_ms], [quiesce_ms]) then one [step] line
-    per step.  Times print at millisecond granularity — which is also the
+    [replicas], [rate], [duration_ms], [quiesce_ms], [recorder_depth])
+    then one [step] line per step.  Times print at millisecond granularity — which is also the
     combinators' granularity — so [of_string (to_string t) = Ok t]. *)
 
 val step_str : step -> string

@@ -62,6 +62,16 @@ let equal a b =
   && equal_op a.op b.op
   && Int.equal a.size_bytes b.size_bytes
 
+(* Records travel in ascending-LSN batches, but fold anyway: the range of
+   a gossip or hydrate reply must not depend on the sender's ordering. *)
+let lsn_range records =
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | None -> Some (r.lsn, r.lsn)
+      | Some (lo, hi) -> Some (Lsn.min lo r.lsn, Lsn.max hi r.lsn))
+    None records
+
 let is_commit t = match t.op with Commit -> true | Put _ | Delete _ | Abort | Noop -> false
 let is_abort t = match t.op with Abort -> true | Put _ | Delete _ | Commit | Noop -> false
 

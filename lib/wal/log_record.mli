@@ -62,6 +62,11 @@ val equal : t -> t -> bool
     (hand-written — the record mixes abstract protocol types on which
     polymorphic compare is off-limits). *)
 
+val lsn_range : t list -> (Lsn.t * Lsn.t) option
+(** Smallest and largest LSN in a batch, [None] for the empty batch —
+    order-independent, used by the flight recorder to label a message
+    with the range of records it carried. *)
+
 val is_commit : t -> bool
 val is_abort : t -> bool
 val pp : Format.formatter -> t -> unit

@@ -38,6 +38,12 @@ dune build @bench-smoke
 # zero semantic-invariant violations (see DESIGN.md section 7).
 dune build @vopr-smoke
 
+# Flight-recorder smoke: force a curated scenario to fail, shrink it, and
+# verify the repro artifact carries recorder rings whose explain output is
+# byte-deterministic and covers send -> ack -> VCL advance -> commit ack
+# (see DESIGN.md section 8).
+dune build @recorder-smoke
+
 # Determinism gate: the whole sim (including the observability sampler,
 # time-series decimation, and trace) must be byte-identical across reruns
 # of the same seed.  Any nondeterminism (hash-order iteration, wall-clock

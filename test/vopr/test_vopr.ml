@@ -137,10 +137,13 @@ let scenario_gen =
   let* rate = small_float in
   let* duration_ms = int_range 1 10_000 in
   let* quiesce_ms = int_range 1 10_000 in
+  let* recorder_depth =
+    int_range Recorder.Rings.min_depth Recorder.Rings.max_depth
+  in
   let* steps = list_size (int_range 0 8) step in
   return
     (Scenario.make ~name ~n_pgs ~layout ~replicas ~rate ~duration_ms
-       ~quiesce_ms steps)
+       ~quiesce_ms ~recorder_depth steps)
 
 let prop_scenario_roundtrip =
   QCheck.Test.make ~name:"print-then-parse is the identity" ~count:300
@@ -177,6 +180,7 @@ let test_shrink_fingerprint () =
       final_vcl = 0;
       final_vdl = 0;
       write_available = 1.;
+      recorder = None;
     }
   in
   let runs = ref 0 in
