@@ -26,8 +26,19 @@ let mem t f = S.mem (Finding.key f) t
 let size = S.cardinal
 
 let save path findings =
+  (* Order by finding position (file, line, col, rule) rather than by the
+     key string, so the written file reads in source order and the same
+     finding set always produces the same bytes across both lint tiers. *)
+  let sorted = List.sort_uniq Finding.compare findings in
   let keys =
-    List.sort_uniq String.compare (List.map Finding.key findings)
+    List.fold_left
+      (fun acc f ->
+        let k = Finding.key f in
+        match acc with
+        | prev :: _ when String.equal prev k -> acc
+        | _ -> k :: acc)
+      [] sorted
+    |> List.rev
   in
   let oc = open_out path in
   output_string oc

@@ -19,4 +19,6 @@ val mem : t -> Finding.t -> bool
 val size : t -> int
 
 val save : string -> Finding.t list -> unit
-(** Write the keys of the given findings, sorted, with a header comment. *)
+(** Write the keys of the given findings with a header comment, ordered by
+    source position (file, line, col, rule) so regeneration is
+    byte-stable for a given finding set across both lint tiers. *)

@@ -70,6 +70,13 @@ let stat sub =
 
 let stats () = List.map (fun sub -> (name sub, stat sub)) all
 
+(* Declares the module-global state above ([slots] via [reset], [on]
+   directly) to the reset-hook registry the typed sim-global lint checks. *)
+let () =
+  Simcore.Reset.register ~name:"perf.probe" (fun () ->
+      on := false;
+      reset ())
+
 let install_sim sim =
   Simcore.Sim.set_probe sim
     (Some

@@ -36,6 +36,14 @@ let reset () =
   Hashtbl.reset rings;
   depth := default_depth
 
+(* Declares the module-global state above ([rings] and [depth] via [reset],
+   [on] directly) to the reset-hook registry the typed sim-global lint
+   checks. *)
+let () =
+  Simcore.Reset.register ~name:"recorder.rings" (fun () ->
+      on := false;
+      reset ())
+
 let dummy = (0, Event.Started)
 
 let fresh role =

@@ -41,6 +41,13 @@ let scaled factor d =
   if factor < 0. then invalid_arg "Distribution.scaled: negative factor";
   Scaled (factor, d)
 
+(* Top-level (not a local [rec] closure capturing [x]): mixture sampling
+   sits on the latency-draw hot path. *)
+let rec mixture_pick entries x i acc =
+  let w, d = entries.(i) in
+  if i = Array.length entries - 1 || x < acc +. w then d
+  else mixture_pick entries x (i + 1) (acc +. w)
+
 let rec sample t rng =
   let v =
     match t with
@@ -51,13 +58,7 @@ let rec sample t rng =
     | Pareto (scale, shape) -> int_of_float (Rng.pareto rng ~scale ~shape)
     | Shifted (base, d) -> Time_ns.add base (sample d rng)
     | Mixture (entries, total) ->
-      let x = Rng.float rng total in
-      let rec pick i acc =
-        let w, d = entries.(i) in
-        if i = Array.length entries - 1 || x < acc +. w then d
-        else pick (i + 1) (acc +. w)
-      in
-      sample (pick 0 0.) rng
+      sample (mixture_pick entries (Rng.float rng total) 0 0.) rng
     | Scaled (f, d) -> int_of_float (f *. float_of_int (sample d rng))
   in
   if v < 0 then 0 else v

@@ -15,12 +15,12 @@ let is_empty t = t.size = 0
 
 let grow t x =
   let cap = Array.length t.data in
-  if t.size = cap then begin
-    let ncap = if cap = 0 then 16 else cap * 2 in
-    let ndata = Array.make ncap x in
-    Array.blit t.data 0 ndata 0 t.size;
-    t.data <- ndata
-  end
+  if t.size = cap then
+    (let ncap = if cap = 0 then 16 else cap * 2 in
+     let ndata = Array.make ncap x in
+     Array.blit t.data 0 ndata 0 t.size;
+     t.data <- ndata)
+    [@alloc_ok "amortized backing-array doubling; steady-state pushes reuse it"]
 
 let rec sift_up t i =
   if i > 0 then begin
@@ -33,16 +33,17 @@ let rec sift_up t i =
     end
   end
 
+(* No [ref] scratch cell: sift-down runs on every pop, i.e. once per
+   dispatched event, and must not allocate (hot-alloc lint, DESIGN.md §6). *)
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
+  let s = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let s = if r < t.size && t.cmp t.data.(r) t.data.(s) < 0 then r else s in
+  if s <> i then begin
     let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+    t.data.(i) <- t.data.(s);
+    t.data.(s) <- tmp;
+    sift_down t s
   end
 
 let push t x =
@@ -53,8 +54,14 @@ let push t x =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
-let pop t =
-  if t.size = 0 then None
+let top_exn t =
+  if t.size = 0 then invalid_arg "Heap.top_exn: empty heap" else t.data.(0)
+
+(* The option-free variants exist for the simulator dispatch loop: [pop]
+   wraps every event in a fresh [Some] block, which the hot-alloc lint
+   rejects on the hot path. *)
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap"
   else begin
     let top = t.data.(0) in
     t.size <- t.size - 1;
@@ -62,13 +69,10 @@ let pop t =
       t.data.(0) <- t.data.(t.size);
       sift_down t 0
     end;
-    Some top
+    top
   end
 
-let pop_exn t =
-  match pop t with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+let pop t = if t.size = 0 then None else Some (pop_exn t)
 
 let clear t =
   t.data <- [||];

@@ -18,11 +18,16 @@ val push : 'a t -> 'a -> unit
 val peek : 'a t -> 'a option
 (** Minimum element without removing it. *)
 
+val top_exn : 'a t -> 'a
+(** Allocation-free {!peek} for the dispatch hot path.
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element. *)
 
 val pop_exn : 'a t -> 'a
-(** @raise Invalid_argument on an empty heap. *)
+(** Allocation-free {!pop} for the dispatch hot path.
+    @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
 

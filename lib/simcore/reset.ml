@@ -1,0 +1,27 @@
+(* Registry of reset hooks for module-global mutable state.
+
+   Cross-run byte-identity (vopr repro digests, recorder artifacts) relies
+   on the simulation proper carrying no hidden global state.  The few
+   module-global mutables that legitimately exist — the perf probes, the
+   flight-recorder rings — live *outside* the sim and must be resettable
+   between runs.  Registering a hook here is how such a module declares
+   that contract; the typed lint tier (DESIGN.md §6) rejects any top-level
+   mutable binding in sim-scoped code that is neither mentioned by a
+   registered hook nor annotated [@sim_global]. *)
+
+type hook = { name : string; run : unit -> unit }
+
+(* The registry itself is the one blessed global: the typed sim-global rule
+   allow-lists this module. *)
+let hooks : hook list ref = ref []
+
+let register ~name run =
+  hooks := { name; run } :: List.filter (fun h -> h.name <> name) !hooks
+
+let run_all () =
+  (* Registration order (module init order) — deterministic for a given
+     link order, and hooks are independent anyway. *)
+  List.iter (fun h -> h.run ()) (List.rev !hooks)
+
+let names () = List.sort String.compare (List.map (fun h -> h.name) !hooks)
+let count () = List.length !hooks

@@ -1,0 +1,18 @@
+(** Registry of reset hooks for module-global mutable state.
+
+    Modules that keep deliberate global mutable state outside the sim
+    (perf probes, recorder rings) register a hook that restores their
+    pristine state.  Multi-run drivers call {!run_all} between runs;
+    the typed lint tier treats a registered hook as the declaration that
+    a module's top-level mutables are managed (see DESIGN.md §6). *)
+
+val register : name:string -> (unit -> unit) -> unit
+(** [register ~name run] adds (or replaces, keyed by [name]) a hook. *)
+
+val run_all : unit -> unit
+(** Run every hook, in registration order. *)
+
+val names : unit -> string list
+(** Registered hook names, sorted. *)
+
+val count : unit -> int

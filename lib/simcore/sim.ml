@@ -1,10 +1,14 @@
 type event_id = int
 
+(* Mutable on purpose: dispatched events are recycled through [pool] instead
+   of being re-allocated per schedule — the TigerBeetle static-allocation
+   idiom the hot-alloc lint enforces (DESIGN.md §6).  An event is owned by
+   the queue from [schedule_at] until [exec] pops it, and by the pool
+   afterwards; nothing outside this module ever sees one. *)
 type event = {
-  at : Time_ns.t;
-  seq : int;
-  id : event_id;
-  action : unit -> unit;
+  mutable at : Time_ns.t;
+  mutable seq : int;  (* doubles as the public event_id *)
+  mutable action : unit -> unit;
 }
 
 type probe = { on_start : unit -> unit; on_stop : unit -> unit }
@@ -17,6 +21,10 @@ type t = {
   mutable executed : int;
   mutable max_heap_depth : int;
   mutable probe : probe option;
+  (* Free-list of recycled event records, stack discipline.  Slots at or
+     above [pool_n] are garbage (aliases left behind by growth). *)
+  mutable pool : event array;
+  mutable pool_n : int;
 }
 
 type stats = { processed : int; pending : int; max_heap_depth : int }
@@ -34,19 +42,49 @@ let create () =
     executed = 0;
     max_heap_depth = 0;
     probe = None;
+    pool = [||];
+    pool_n = 0;
   }
 
 let now t = t.clock
+
+(* Retiring an event must not capture its closure beyond the dispatch that
+   ran it. *)
+let no_action () = ()
+
+let acquire t ~at ~seq action =
+  if t.pool_n = 0 then
+    { at; seq; action }
+    [@alloc_ok "pool warm-up: each record is allocated once, then recycled"]
+  else begin
+    t.pool_n <- t.pool_n - 1;
+    let ev = t.pool.(t.pool_n) in
+    ev.at <- at;
+    ev.seq <- seq;
+    ev.action <- action;
+    ev
+  end
+
+let release t ev =
+  ev.action <- no_action;
+  let cap = Array.length t.pool in
+  if t.pool_n = cap then
+    (let ncap = if cap = 0 then 64 else cap * 2 in
+     let np = Array.make ncap ev in
+     Array.blit t.pool 0 np 0 cap;
+     t.pool <- np)
+    [@alloc_ok "amortized pool growth, bounded by max_heap_depth"];
+  t.pool.(t.pool_n) <- ev;
+  t.pool_n <- t.pool_n + 1
 
 let schedule_at t ~at action =
   let at = Time_ns.max at t.clock in
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  let id = seq in
-  Heap.push t.queue { at; seq; id; action };
+  Heap.push t.queue (acquire t ~at ~seq action);
   let depth = Heap.length t.queue in
   if depth > t.max_heap_depth then t.max_heap_depth <- depth;
-  id
+  seq
 
 let schedule t ~delay action =
   schedule_at t ~at:(Time_ns.add t.clock (Time_ns.max delay 0)) action
@@ -58,38 +96,44 @@ let rec every t ~interval f =
     (schedule t ~delay:interval (fun () -> if f () then every t ~interval f))
 
 let exec t ev =
-  if Hashtbl.mem t.cancelled ev.id then Hashtbl.remove t.cancelled ev.id
-  else begin
-    t.clock <- ev.at;
-    t.executed <- t.executed + 1;
-    (* The probe lives outside sim state (wall-clock timers, allocation
-       counters); installing one changes nothing the simulation can
-       observe. *)
-    match t.probe with
-    | None -> ev.action ()
-    | Some p ->
-      p.on_start ();
-      ev.action ();
-      p.on_stop ()
-  end
+  (if Hashtbl.mem t.cancelled ev.seq then Hashtbl.remove t.cancelled ev.seq
+   else begin
+     t.clock <- ev.at;
+     t.executed <- t.executed + 1;
+     (* The probe lives outside sim state (wall-clock timers, allocation
+        counters); installing one changes nothing the simulation can
+        observe. *)
+     match t.probe with
+     | None -> ev.action ()
+     | Some p ->
+       p.on_start ();
+       ev.action ();
+       p.on_stop ()
+   end);
+  (* Recycle only after the action returned: an action that schedules draws
+     fresh records from the pool while this one is still live. *)
+  release t ev
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some ev ->
-    exec t ev;
+  if Heap.is_empty t.queue then false
+  else begin
+    exec t (Heap.pop_exn t.queue);
     true
+  end
 
 let run t = while step t do () done
 
+let rec drain_until t limit =
+  if
+    (not (Heap.is_empty t.queue))
+    && Time_ns.compare (Heap.top_exn t.queue).at limit <= 0
+  then begin
+    exec t (Heap.pop_exn t.queue);
+    drain_until t limit
+  end
+
 let run_until t limit =
-  let continue = ref true in
-  while !continue do
-    match Heap.peek t.queue with
-    | Some ev when Time_ns.compare ev.at limit <= 0 ->
-      (match Heap.pop t.queue with Some e -> exec t e | None -> ())
-    | _ -> continue := false
-  done;
+  drain_until t limit;
   if Time_ns.compare t.clock limit < 0 then t.clock <- limit
 
 let pending t = Heap.length t.queue - Hashtbl.length t.cancelled

@@ -1,11 +1,14 @@
 open Simcore
 
+(* Mutable on purpose: deliveries reuse one scratch envelope per network
+   (see [deliver]) instead of allocating a record per message — handlers
+   must not retain it (net.mli documents the contract). *)
 type 'msg envelope = {
-  src : Addr.t;
-  dst : Addr.t;
-  sent_at : Time_ns.t;
-  bytes : int;
-  msg : 'msg;
+  mutable src : Addr.t;
+  mutable dst : Addr.t;
+  mutable sent_at : Time_ns.t;
+  mutable bytes : int;
+  mutable msg : 'msg;
 }
 
 type stats = {
@@ -31,9 +34,21 @@ type drop_cause = Down | Blocked | Partitioned | Random
 
 type phase = Sent | Delivered | Dropped of drop_cause
 
-(* Per-link delivery counters, keyed (src, dst) as ints.  Mutable in
-   place: [send] is the sim's hottest path and the stats record above is
-   already copied per call. *)
+(* [Dropped _] carries an argument, so building one allocates; drops are
+   hot under fault scenarios, hence one preallocated block per cause. *)
+let phase_drop_down = Dropped Down
+let phase_drop_blocked = Dropped Blocked
+let phase_drop_partition = Dropped Partitioned
+let phase_drop_random = Dropped Random
+
+let dropped_phase = function
+  | Down -> phase_drop_down
+  | Blocked -> phase_drop_blocked
+  | Partitioned -> phase_drop_partition
+  | Random -> phase_drop_random
+
+(* Per-link delivery counters, keyed by the packed (src, dst) int.
+   Mutable in place: [send] is the sim's hottest path. *)
 type link_counters = {
   mutable l_sent : int;
   mutable l_delivered : int;
@@ -52,35 +67,37 @@ type link_stat = {
   drop_random : int;
 }
 
+(* Global counters, bumped in place on the send/deliver hot path; the
+   public immutable [stats] record is materialized on demand in [stats]. *)
+type totals = {
+  mutable n_sent : int;
+  mutable n_delivered : int;
+  mutable n_down : int;
+  mutable n_blocked : int;
+  mutable n_partition : int;
+  mutable n_random : int;
+  mutable n_bytes_sent : int;
+  mutable n_bytes_delivered : int;
+}
+
 type 'msg t = {
   sim : Sim.t;
   rng : Rng.t;
   default_latency : Distribution.t;
   handlers : ('msg envelope -> unit) Addr.Tbl.t;
-  link_latency : (int * int, Distribution.t) Hashtbl.t;
+  link_latency : (int, Distribution.t) Hashtbl.t;
   mutable latency_fn : Addr.t -> Addr.t -> Distribution.t option;
-  link_drop : (int * int, float) Hashtbl.t;
+  link_drop : (int, float) Hashtbl.t;
   mutable global_drop : float;
   slowdown : float Addr.Tbl.t;
   down : unit Addr.Tbl.t;
-  blocked : (int * int, block_kind) Hashtbl.t;
-  links : (int * int, link_counters) Hashtbl.t;
+  blocked : (int, block_kind) Hashtbl.t;
+  links : (int, link_counters) Hashtbl.t;
   mutable recorder : (phase -> src:Addr.t -> dst:Addr.t -> 'msg -> unit) option;
-  mutable st : stats;
+  totals : totals;
+  (* Scratch envelope reused for every delivery (see [deliver]). *)
+  mutable scratch : 'msg envelope option;
 }
-
-let zero_stats =
-  {
-    sent = 0;
-    delivered = 0;
-    dropped = 0;
-    dropped_down = 0;
-    dropped_blocked = 0;
-    dropped_partition = 0;
-    dropped_random = 0;
-    bytes_sent = 0;
-    bytes_delivered = 0;
-  }
 
 let create ~sim ~rng ~default_latency ?obs () =
   let t =
@@ -98,7 +115,18 @@ let create ~sim ~rng ~default_latency ?obs () =
       blocked = Hashtbl.create 16;
       links = Hashtbl.create 64;
       recorder = None;
-      st = zero_stats;
+      totals =
+        {
+          n_sent = 0;
+          n_delivered = 0;
+          n_down = 0;
+          n_blocked = 0;
+          n_partition = 0;
+          n_random = 0;
+          n_bytes_sent = 0;
+          n_bytes_delivered = 0;
+        };
+      scratch = None;
     }
   in
   (match obs with
@@ -106,19 +134,29 @@ let create ~sim ~rng ~default_latency ?obs () =
   | Some obs ->
     let reg = Obs.Ctx.registry obs in
     let c name f = Obs.Registry.counter_fn reg name f in
-    c "net_sent" (fun () -> t.st.sent);
-    c "net_delivered" (fun () -> t.st.delivered);
-    c "net_dropped" (fun () -> t.st.dropped);
-    c "net_dropped_down" (fun () -> t.st.dropped_down);
-    c "net_dropped_blocked" (fun () -> t.st.dropped_blocked);
-    c "net_dropped_partition" (fun () -> t.st.dropped_partition);
-    c "net_dropped_random" (fun () -> t.st.dropped_random);
-    c "net_bytes_sent" (fun () -> t.st.bytes_sent);
-    c "net_bytes_delivered" (fun () -> t.st.bytes_delivered));
+    let tl = t.totals in
+    c "net_sent" (fun () -> tl.n_sent);
+    c "net_delivered" (fun () -> tl.n_delivered);
+    c "net_dropped" (fun () ->
+        tl.n_down + tl.n_blocked + tl.n_partition + tl.n_random);
+    c "net_dropped_down" (fun () -> tl.n_down);
+    c "net_dropped_blocked" (fun () -> tl.n_blocked);
+    c "net_dropped_partition" (fun () -> tl.n_partition);
+    c "net_dropped_random" (fun () -> tl.n_random);
+    c "net_bytes_sent" (fun () -> tl.n_bytes_sent);
+    c "net_bytes_delivered" (fun () -> tl.n_bytes_delivered));
   t
 
 let sim t = t.sim
-let key a b = (Addr.to_int a, Addr.to_int b)
+
+(* Directed link key packed into one immediate int — no tuple allocation
+   per lookup on the send path.  Addresses are small non-negative ints
+   (node ids), comfortably below 2^31; the packed key sorts in the same
+   order as the (src, dst) pair. *)
+let key a b = (Addr.to_int a lsl 31) lor Addr.to_int b
+let key_src k = k lsr 31
+let key_dst k = k land 0x7FFF_FFFF
+
 let register t addr handler = Addr.Tbl.replace t.handlers addr handler
 let unregister t addr = Addr.Tbl.remove t.handlers addr
 
@@ -152,28 +190,57 @@ let partition t sa sb =
 let heal_partition t sa sb =
   Addr.Set.iter (fun a -> Addr.Set.iter (fun b -> unblock t a b) sb) sa
 
-let blocked_kind t a b = Hashtbl.find_opt t.blocked (key a b)
+(* Option-free fault lookups: these run (twice — send and delivery time)
+   for every message, so they must not wrap results in [Some] blocks. *)
+
+(* @raise Not_found when the link is open. *)
+let sever_cause_exn t a b =
+  match Hashtbl.find t.blocked (key a b) with
+  | Direct -> Blocked
+  | Part -> Partitioned
 
 let latency_for t ~src ~dst =
-  match Hashtbl.find_opt t.link_latency (key src dst) with
-  | Some d -> d
-  | None -> (
+  match Hashtbl.find t.link_latency (key src dst) with
+  | d -> d
+  | exception Not_found -> (
     match t.latency_fn src dst with
     | Some d -> d
     | None -> t.default_latency)
 
 let drop_probability t ~src ~dst =
-  match Hashtbl.find_opt t.link_drop (key src dst) with
-  | Some p -> Float.max p t.global_drop
-  | None -> t.global_drop
+  match Hashtbl.find t.link_drop (key src dst) with
+  | p -> Float.max p t.global_drop
+  | exception Not_found -> t.global_drop
 
 let slow_factor t addr =
-  match Addr.Tbl.find_opt t.slowdown addr with Some f -> f | None -> 1.0
+  match Addr.Tbl.find t.slowdown addr with
+  | f -> f
+  | exception Not_found -> 1.0
 
-let stats t = t.st
+let stats t =
+  let tl = t.totals in
+  {
+    sent = tl.n_sent;
+    delivered = tl.n_delivered;
+    dropped = tl.n_down + tl.n_blocked + tl.n_partition + tl.n_random;
+    dropped_down = tl.n_down;
+    dropped_blocked = tl.n_blocked;
+    dropped_partition = tl.n_partition;
+    dropped_random = tl.n_random;
+    bytes_sent = tl.n_bytes_sent;
+    bytes_delivered = tl.n_bytes_delivered;
+  }
 
 let reset_stats t =
-  t.st <- zero_stats;
+  let tl = t.totals in
+  tl.n_sent <- 0;
+  tl.n_delivered <- 0;
+  tl.n_down <- 0;
+  tl.n_blocked <- 0;
+  tl.n_partition <- 0;
+  tl.n_random <- 0;
+  tl.n_bytes_sent <- 0;
+  tl.n_bytes_delivered <- 0;
   Hashtbl.reset t.links
 
 let set_recorder t cb = t.recorder <- cb
@@ -183,12 +250,13 @@ let record t phase ~src ~dst msg =
 
 let link_for t src dst =
   let k = key src dst in
-  match Hashtbl.find_opt t.links k with
-  | Some c -> c
-  | None ->
+  match Hashtbl.find t.links k with
+  | c -> c
+  | exception Not_found ->
     let c =
       { l_sent = 0; l_delivered = 0; l_down = 0; l_blocked = 0;
         l_partition = 0; l_random = 0 }
+      [@alloc_ok "one counters record per live link, allocated on first use"]
     in
     Hashtbl.replace t.links k c;
     c
@@ -196,7 +264,7 @@ let link_for t src dst =
 let link_stats t =
   Hashtbl.fold
     (fun k c acc ->
-      ( k,
+      ( (key_src k, key_dst k),
         {
           sent_on = c.l_sent;
           delivered_on = c.l_delivered;
@@ -211,51 +279,89 @@ let link_stats t =
          match Int.compare a1 b1 with 0 -> Int.compare a2 b2 | c -> c)
 
 let note_drop t ~src ~dst cause =
-  let st = t.st in
+  let tl = t.totals in
   let link = link_for t src dst in
-  t.st <-
-    (match cause with
-    | Down ->
-      link.l_down <- link.l_down + 1;
-      { st with dropped = st.dropped + 1; dropped_down = st.dropped_down + 1 }
-    | Blocked ->
-      link.l_blocked <- link.l_blocked + 1;
-      { st with dropped = st.dropped + 1; dropped_blocked = st.dropped_blocked + 1 }
-    | Partitioned ->
-      link.l_partition <- link.l_partition + 1;
-      {
-        st with
-        dropped = st.dropped + 1;
-        dropped_partition = st.dropped_partition + 1;
-      }
-    | Random ->
-      link.l_random <- link.l_random + 1;
-      { st with dropped = st.dropped + 1; dropped_random = st.dropped_random + 1 })
+  match cause with
+  | Down ->
+    link.l_down <- link.l_down + 1;
+    tl.n_down <- tl.n_down + 1
+  | Blocked ->
+    link.l_blocked <- link.l_blocked + 1;
+    tl.n_blocked <- tl.n_blocked + 1
+  | Partitioned ->
+    link.l_partition <- link.l_partition + 1;
+    tl.n_partition <- tl.n_partition + 1
+  | Random ->
+    link.l_random <- link.l_random + 1;
+    tl.n_random <- tl.n_random + 1
 
-let sever_cause t a b =
-  match blocked_kind t a b with
-  | Some Direct -> Some Blocked
-  | Some Part -> Some Partitioned
-  | None -> None
+(* Top-level (not a per-send closure): drop bookkeeping fires on both the
+   send-time and delivery-time fault checks. *)
+let drop_now t ~src ~dst cause msg =
+  note_drop t ~src ~dst cause;
+  record t (dropped_phase cause) ~src ~dst msg
+
+let deliver t ~src ~dst ~sent_at ~bytes msg =
+  (* Down / blocked state is re-checked at delivery: a node that crashed
+     while the message was in flight never sees it.  An unregistered
+     destination counts as down. *)
+  if is_down t dst then drop_now t ~src ~dst Down msg
+  else
+    match sever_cause_exn t src dst with
+    | cause -> drop_now t ~src ~dst cause msg
+    | exception Not_found -> (
+      match Addr.Tbl.find t.handlers dst with
+      | exception Not_found -> drop_now t ~src ~dst Down msg
+      | handler ->
+        let tl = t.totals in
+        tl.n_delivered <- tl.n_delivered + 1;
+        tl.n_bytes_delivered <- tl.n_bytes_delivered + bytes;
+        let link = link_for t src dst in
+        link.l_delivered <- link.l_delivered + 1;
+        record t Delivered ~src ~dst msg;
+        (* One scratch envelope per network, refilled per delivery.  Safe
+           because delivery is serial (sim events never nest) and handlers
+           are forbidden from retaining the envelope. *)
+        let env =
+          match t.scratch with
+          | Some env ->
+            env.src <- src;
+            env.dst <- dst;
+            env.sent_at <- sent_at;
+            env.bytes <- bytes;
+            env.msg <- msg;
+            env
+          | None ->
+            (let env = { src; dst; sent_at; bytes; msg } in
+             t.scratch <- Some env;
+             env)
+            [@alloc_ok
+              "scratch-envelope warm-up: allocated once per network, then \
+               reused for every delivery"]
+        in
+        (* Perf span around the handler only — latency modelling and drop
+           bookkeeping above are scheduling, not delivery work. *)
+        Perf.Probe.start Perf.Probe.Net_delivery;
+        handler env;
+        Perf.Probe.stop Perf.Probe.Net_delivery)
 
 let send t ~src ~dst ?(bytes = 64) msg =
-  t.st <- { t.st with sent = t.st.sent + 1; bytes_sent = t.st.bytes_sent + bytes };
+  let tl = t.totals in
+  tl.n_sent <- tl.n_sent + 1;
+  tl.n_bytes_sent <- tl.n_bytes_sent + bytes;
   let out = link_for t src dst in
   out.l_sent <- out.l_sent + 1;
   record t Sent ~src ~dst msg;
-  let drop cause =
-    note_drop t ~src ~dst cause;
-    record t (Dropped cause) ~src ~dst msg
-  in
   (* Attribution order mirrors the old short-circuit: the stochastic draw
      happens only when neither endpoint fault applies, keeping the RNG
      stream (and thus every seeded run) identical. *)
-  if is_down t src then drop Down
+  if is_down t src then drop_now t ~src ~dst Down msg
   else
-    match sever_cause t src dst with
-    | Some cause -> drop cause
-    | None ->
-      if Rng.bernoulli t.rng (drop_probability t ~src ~dst) then drop Random
+    match sever_cause_exn t src dst with
+    | cause -> drop_now t ~src ~dst cause msg
+    | exception Not_found ->
+      if Rng.bernoulli t.rng (drop_probability t ~src ~dst) then
+        drop_now t ~src ~dst Random msg
       else begin
         let base = Distribution.sample (latency_for t ~src ~dst) t.rng in
         let factor = slow_factor t src *. slow_factor t dst in
@@ -263,33 +369,11 @@ let send t ~src ~dst ?(bytes = 64) msg =
           if factor = 1.0 then base
           else int_of_float (factor *. float_of_int base)
         in
-        let env = { src; dst; sent_at = Sim.now t.sim; bytes; msg } in
+        let sent_at = Sim.now t.sim in
         ignore
-          (Sim.schedule t.sim ~delay (fun () ->
-               (* Down / blocked state is re-checked at delivery: a node that
-                  crashed while the message was in flight never sees it.  An
-                  unregistered destination counts as down. *)
-               if is_down t dst then drop Down
-               else
-                 match sever_cause t src dst with
-                 | Some cause -> drop cause
-                 | None -> (
-                   match Addr.Tbl.find_opt t.handlers dst with
-                   | None -> drop Down
-                   | Some handler ->
-                     t.st <-
-                       {
-                         t.st with
-                         delivered = t.st.delivered + 1;
-                         bytes_delivered = t.st.bytes_delivered + bytes;
-                       };
-                     let link = link_for t src dst in
-                     link.l_delivered <- link.l_delivered + 1;
-                     record t Delivered ~src ~dst msg;
-                     (* Perf span around the handler only — latency modelling
-                        and drop bookkeeping above are scheduling, not
-                        delivery work. *)
-                     Perf.Probe.start Perf.Probe.Net_delivery;
-                     handler env;
-                     Perf.Probe.stop Perf.Probe.Net_delivery)))
+          ((Sim.schedule t.sim ~delay (fun () ->
+                deliver t ~src ~dst ~sent_at ~bytes msg))
+          [@alloc_ok
+            "the one deliberate per-message allocation: the in-flight \
+             delivery continuation"])
       end

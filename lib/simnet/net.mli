@@ -17,12 +17,16 @@
 
 type 'msg t
 
+(** Delivery envelope.  The network keeps ONE scratch envelope per
+    {!t} and refills it for every delivery (fields are mutable for that
+    reason): handlers must read what they need during the call and must
+    not retain the record or expect it to stay stable afterwards. *)
 type 'msg envelope = {
-  src : Addr.t;
-  dst : Addr.t;
-  sent_at : Simcore.Time_ns.t;
-  bytes : int;
-  msg : 'msg;
+  mutable src : Addr.t;
+  mutable dst : Addr.t;
+  mutable sent_at : Simcore.Time_ns.t;
+  mutable bytes : int;
+  mutable msg : 'msg;
 }
 
 type stats = {

@@ -86,7 +86,7 @@ let insert_records t records =
   List.iter
     (fun r ->
       match Hot_log.insert t.hot_log r with
-      | Hot_log.Accepted _ -> note_status t r
+      | Hot_log.Accepted -> note_status t r
       | Hot_log.Duplicate | Hot_log.Annulled -> ())
     records;
   scl t

@@ -10,7 +10,11 @@ type t = {
   mutable dropped_upto : Lsn.t; (* GC floor: records at/below were dropped *)
 }
 
-type insert_result = Accepted of Lsn.t | Duplicate | Annulled
+(* All three results are constant constructors: [insert] runs for every
+   record a storage node receives, and an [Accepted of Lsn.t] payload would
+   allocate a block per accepted record just to carry what [scl] already
+   exposes. *)
+type insert_result = Accepted | Duplicate | Annulled
 
 let create () =
   {
@@ -38,18 +42,23 @@ let find t lsn = Hashtbl.find_opt t.records (Lsn.to_int lsn)
 let record_count t = Hashtbl.length t.records
 let bytes_stored t = t.bytes
 
-let is_annulled t lsn =
-  List.exists
-    (fun { above; upto } -> Lsn.(lsn > above) && Lsn.(lsn <= upto))
-    t.truncations
+(* Top-level (not a closure capturing [lsn]): this check runs on every
+   insert, i.e. per received record. *)
+let rec lsn_annulled lsn = function
+  | [] -> false
+  | { above; upto } :: rest ->
+    (Lsn.(lsn > above) && Lsn.(lsn <= upto)) || lsn_annulled lsn rest
+
+let is_annulled t lsn = lsn_annulled lsn t.truncations
 
 (* Chase the chain forward through pending records starting at the current
    SCL; each pending record whose prev_segment equals the chain tail extends
-   the gapless prefix. *)
+   the gapless prefix.  Exception-based lookup: [find_opt] would box a
+   [Some] per chained record. *)
 let rec advance t =
-  match Hashtbl.find_opt t.by_prev (Lsn.to_int t.scl) with
-  | None -> ()
-  | Some r ->
+  match Hashtbl.find t.by_prev (Lsn.to_int t.scl) with
+  | exception Not_found -> ()
+  | r ->
     Hashtbl.remove t.by_prev (Lsn.to_int t.scl);
     t.scl <- r.Log_record.lsn;
     advance t
@@ -63,7 +72,7 @@ let insert t (r : Log_record.t) =
     begin
       Hashtbl.replace t.records (Lsn.to_int r.lsn) r;
       t.bytes <- t.bytes + r.size_bytes;
-      Accepted t.scl
+      Accepted
     end
   else begin
     Hashtbl.replace t.records (Lsn.to_int r.lsn) r;
@@ -71,7 +80,7 @@ let insert t (r : Log_record.t) =
     t.bytes <- t.bytes + r.size_bytes;
     if Lsn.(r.lsn > t.highest) then t.highest <- r.lsn;
     advance t;
-    Accepted t.scl
+    Accepted
   end
 
 let pending_count t = Hashtbl.length t.by_prev

@@ -9,8 +9,11 @@
 
 type t
 
+(** Constant constructors on purpose: [insert] runs per received record
+    and must not allocate.  After [Accepted], read the (possibly advanced)
+    SCL via {!scl}. *)
 type insert_result =
-  | Accepted of Lsn.t  (** Stored; payload is the (possibly advanced) SCL. *)
+  | Accepted  (** Stored; the SCL may have advanced — see {!scl}. *)
   | Duplicate  (** Already present; ignored. *)
   | Annulled  (** LSN falls in a truncation range; rejected (§2.4). *)
 

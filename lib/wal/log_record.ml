@@ -41,6 +41,7 @@ let make ~lsn ~prev_volume ~prev_segment ~prev_block ~block ~txn ~mtr_id
     op;
     size_bytes = header_bytes + op_bytes op;
   }
+  [@alloc_ok "the record being built is the product"]
 
 let equal_op a b =
   match (a, b) with
@@ -62,15 +63,17 @@ let equal a b =
   && equal_op a.op b.op
   && Int.equal a.size_bytes b.size_bytes
 
-(* Records travel in ascending-LSN batches, but fold anyway: the range of
-   a gossip or hydrate reply must not depend on the sender's ordering. *)
-let lsn_range records =
-  List.fold_left
-    (fun acc r ->
-      match acc with
-      | None -> Some (r.lsn, r.lsn)
-      | Some (lo, hi) -> Some (Lsn.min lo r.lsn, Lsn.max hi r.lsn))
-    None records
+(* Records travel in ascending-LSN batches, but scan anyway: the range of
+   a gossip or hydrate reply must not depend on the sender's ordering.
+   Accumulates in plain int-like Lsn arguments — only the final result is
+   boxed, not one option per element as the old fold did. *)
+let rec range_from lo hi = function
+  | [] -> Some (lo, hi) [@alloc_ok "single boxed result per batch"]
+  | r :: rest -> range_from (Lsn.min lo r.lsn) (Lsn.max hi r.lsn) rest
+
+let lsn_range = function
+  | [] -> None
+  | r :: rest -> range_from r.lsn r.lsn rest
 
 let is_commit t = match t.op with Commit -> true | Put _ | Delete _ | Abort | Noop -> false
 let is_abort t = match t.op with Abort -> true | Put _ | Delete _ | Commit | Noop -> false

@@ -26,6 +26,12 @@ dune build @all
 # diff below can only catch probabilistically.
 dune build @lint
 
+# Typed tier: interprocedural rules over the compiler's .cmt trees —
+# hot-path allocation (call graph from the hot-entry manifest), sim-state
+# purity (Reset.register coverage), protocol/event constructor coverage,
+# and type-precise polymorphic-compare detection (DESIGN.md §6).
+dune build @lint-typed
+
 dune runtest
 
 # Perf-report smoke: write a tiny-scale BENCH report and push it through the

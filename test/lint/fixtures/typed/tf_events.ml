@@ -1,0 +1,10 @@
+(* Event-emission fixture: [Seen] is built by [Tf_emitter]; [Ignored] is
+   only ever built inside this defining module, which the emit rule must
+   not count as coverage. *)
+
+type t =
+  | Seen of int
+  | Ignored of int
+
+let local = Ignored 0
+let tag = function Seen n -> n | Ignored n -> n

@@ -1,0 +1,12 @@
+(* Hot-path allocation fixtures.  [entry] is registered as a hot root by
+   the test config; the tuple in [helper] and the blocklisted
+   [string_of_int] in [shout] are both reachable from it only through the
+   call graph.  [entry_ok] reaches nothing but the [@@alloc_ok]-annotated
+   [blessed], so it must stay finding-free. *)
+
+let helper x = (x, x + 1)
+let middle x = fst (helper x)
+let shout x = string_of_int x
+let entry x = String.length (shout (middle x))
+let blessed x = [ x ] [@@alloc_ok "fixture: deliberate and annotated"]
+let entry_ok x = List.hd (blessed x)

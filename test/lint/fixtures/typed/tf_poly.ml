@@ -1,0 +1,6 @@
+(* Typed poly-compare fixture: polymorphic equality at [Wal.Lsn.t] must be
+   flagged even with no syntactic module hint at the call site; the int
+   comparison in [good] must not be. *)
+
+let bad (a : Wal.Lsn.t) b = a = b
+let good a b = Wal.Lsn.compare a b = 0

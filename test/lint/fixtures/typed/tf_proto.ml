@@ -1,0 +1,12 @@
+(* Protocol-coverage fixture: [describe] handles [Ping] explicitly but
+   hides [Pong] and [Ack] behind a wildcard — exactly the rot the
+   describe-coverage rule exists to reject. *)
+
+type t =
+  | Ping
+  | Pong
+  | Ack
+
+let describe = function
+  | Ping -> "ping"
+  | _ -> "opaque"

@@ -122,7 +122,8 @@ let test_hot_log_annul () =
       ~mtr_id:11 ~mtr_end:true ~op:Log_record.Noop
   in
   (match Hot_log.insert log r with
-  | Hot_log.Accepted scl -> check_int "chain continues above range" 101 (Lsn.to_int scl)
+  | Hot_log.Accepted ->
+    check_int "chain continues above range" 101 (Lsn.to_int (Hot_log.scl log))
   | _ -> Alcotest.fail "expected Accepted")
 
 let test_hot_log_annul_with_pending () =
